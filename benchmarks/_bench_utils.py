@@ -1,0 +1,10 @@
+"""Importable benchmark helpers (kept out of conftest so tests/ and
+benchmarks/ can be collected in one pytest invocation)."""
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled experiment artifact (visible with -s and captured
+    in the benchmark logs otherwise)."""
+    bar = "=" * max(8, 72 - len(title))
+    print(f"\n==== {title} {bar}")
+    print(body)

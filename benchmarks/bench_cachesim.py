@@ -1,0 +1,40 @@
+"""Model validation: replay simulated memory traces through LRU caches.
+
+Checks the two assumptions the analytic memory model rests on (DESIGN.md):
+every scheme's DRAM line traffic equals its compulsory footprint, and
+Multiple Loads' redundant vector loads replay from L1."""
+
+from repro.analysis.report import render_table
+from repro.config import AMD_EPYC_7V13
+from repro.machine.cachesim import simulate_program_cache
+from repro.schemes import generate, scheme_halo
+from repro.stencils import library
+from repro.stencils.grid import Grid
+
+from _bench_utils import emit
+
+
+def _collect():
+    spec = library.get("box-2d9p")
+    rows = []
+    for scheme in ("auto", "reorg", "tess", "folding", "jigsaw", "t-jigsaw"):
+        g = Grid.random((16, 48), scheme_halo(scheme, spec, AMD_EPYC_7V13),
+                        seed=1)
+        prog = generate(scheme, spec, AMD_EPYC_7V13, g)
+        stats = simulate_program_cache(prog, g, AMD_EPYC_7V13)
+        rows.append([scheme, stats.accesses,
+                     f"{stats.hit_rate('L1') * 100:.1f}%",
+                     stats.dram_lines, stats.unique_lines])
+    return rows
+
+
+def test_cache_trace_validates_memory_model(once):
+    rows = once(_collect)
+    emit("Cache-trace validation (box-2d9p, one sweep)",
+         render_table(["scheme", "line accesses", "L1 hit rate",
+                       "DRAM lines", "compulsory lines"], rows))
+    for scheme, _accesses, _hr, dram, compulsory in rows:
+        assert dram == compulsory, scheme
+    auto = next(r for r in rows if r[0] == "auto")
+    jig = next(r for r in rows if r[0] == "jigsaw")
+    assert auto[1] > jig[1]  # Auto replays far more line accesses

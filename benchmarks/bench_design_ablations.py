@@ -1,0 +1,84 @@
+"""Design-choice ablations called out in DESIGN.md (beyond the paper's
+own Figure 7):
+
+* structured (centre-column-residualized) vs plain-SVD decomposition —
+  shuffle counts of the resulting instruction streams;
+* LBV's butterfly vs the transposition (Folding) and window-shuffle
+  (Reorg) data organizations — cross-lane counts per vector;
+* ITM depth sweep on Heat-1D — per-step instruction amortization.
+"""
+
+from repro.config import GENERIC_AVX2
+from repro.core.jigsaw import generate_jigsaw, required_halo
+from repro.core.sdf import flatten_terms, structured_terms
+from repro.schemes import model_program
+from repro.stencils import library
+from repro.stencils.grid import Grid
+from repro.analysis.report import render_table
+
+from _bench_utils import emit
+
+
+def _jig_mix(spec, terms=None, fusion=1):
+    shape = (4,) * (spec.ndim - 1) + (48,)
+    g = Grid(shape, required_halo(spec, GENERIC_AVX2, time_fusion=fusion))
+    prog = generate_jigsaw(spec, GENERIC_AVX2, g, time_fusion=fusion,
+                           terms=terms)
+    return prog.per_vector_mix()
+
+
+def test_structured_vs_svd_decomposition(once):
+    def run():
+        rows = []
+        for kernel in ("heat-2d", "box-2d9p", "star-2d9p", "heat-3d"):
+            spec = library.get(kernel)
+            svd = _jig_mix(spec, terms=flatten_terms(spec))
+            structured = _jig_mix(spec, terms=structured_terms(spec))
+            rows.append([kernel, svd["C"] + svd["I"],
+                         structured["C"] + structured["I"]])
+        return rows
+
+    rows = once(run)
+    emit("Ablation: SDF decomposition strategy (shuffles/vector)",
+         render_table(["kernel", "plain SVD", "structured (ours)"], rows))
+    for _, svd_shuf, structured_shuf in rows:
+        assert structured_shuf <= svd_shuf
+
+
+def test_cross_lane_by_data_organization(once):
+    def run():
+        rows = []
+        spec = library.get("heat-2d")
+        for scheme in ("reorg", "folding", "jigsaw"):
+            mix = model_program(scheme, spec, GENERIC_AVX2).per_vector_mix()
+            rows.append([scheme, mix["C"], mix["I"]])
+        return rows
+
+    rows = once(run)
+    emit("Ablation: cross-lane by data organization (heat-2d)",
+         render_table(["scheme", "cross-lane/vec", "in-lane/vec"], rows))
+    by = {r[0]: r[1] for r in rows}
+    assert by["jigsaw"] < by["folding"]
+
+
+def test_itm_depth_sweep(once):
+    def run():
+        spec = library.get("heat-1d")
+        rows = []
+        for s in (1, 2, 3, 4):
+            mix = _jig_mix(spec, fusion=s)
+            rows.append([s, mix["L"], mix["S"], mix["C"], mix["I"],
+                         mix["A"]])
+        return rows
+
+    rows = once(run)
+    emit("Ablation: ITM fusion depth on heat-1d (per vector per step)",
+         render_table(["depth", "L", "S", "C", "I", "A"], rows))
+    # §3.3: loads/stores/cross-lane amortize with depth...
+    loads = [r[1] for r in rows]
+    stores = [r[2] for r in rows]
+    assert loads[0] > loads[-1]
+    assert stores == [1 / s for s in (1, 2, 3, 4)]
+    # ...while arithmetic per step grows sub-linearly for 1-D
+    arith = [r[5] for r in rows]
+    assert arith[-1] < arith[0] * 4

@@ -1,0 +1,12 @@
+"""§4.6 discussion — Jigsaw across SSE / AVX2 / AVX-512."""
+
+from repro.experiments import disc
+
+from _bench_utils import emit
+
+
+def test_disc_isa_generality(once):
+    results = once(disc.data)
+    emit("Discussion (§4.6): ISA generality", disc.run())
+    for kernel, rows in results.items():
+        assert all(d["correct"] for d in rows), kernel

@@ -1,0 +1,25 @@
+"""Figure 10 — parallel cache-blocked comparison (all Table-3 kernels,
+all cores, vs SDSL/Pluto/Tessellation/Folding)."""
+
+from repro.config import PAPER_MACHINES
+from repro.experiments import fig10
+
+from _bench_utils import emit
+
+#: the paper's headline averages (§4.4)
+PAPER_MEAN = {"amd-epyc-7v13": 2.148, "intel-xeon-6230r": 2.466}
+
+
+def test_fig10_parallel_comparison(once):
+    results = once(fig10.data, PAPER_MACHINES)
+    emit("Figure 10: parallel cache-blocking comparison",
+         fig10.run(PAPER_MACHINES))
+    for mname, d in results.items():
+        for kernel, r in d["per_kernel"].items():
+            assert min(r, key=r.get) == "SDSL", (mname, kernel)
+        assert abs(d["mean_speedup"] - PAPER_MEAN[mname]) \
+            < 0.4 * PAPER_MEAN[mname], mname
+        # §4.4: 4-step fusion shines on Heat-1D (paper: ~3x on average
+        # against the baselines; vs the 2-step T-Jigsaw it is a clear win)
+        heat = d["per_kernel"]["heat-1d"]
+        assert heat["T-4 Jigsaw"] > heat["T-Jigsaw"]

@@ -1,0 +1,19 @@
+"""Figure 11 — multicore scalability of Jigsaw / T-Jigsaw."""
+
+from repro.config import AMD_EPYC_7V13, PAPER_MACHINES
+from repro.experiments import fig11
+
+from _bench_utils import emit
+
+
+def test_fig11_scalability(once):
+    results = once(fig11.data, PAPER_MACHINES)
+    emit("Figure 11: scalability", fig11.run(PAPER_MACHINES))
+    amd = results[AMD_EPYC_7V13.name]
+    # near-linear 1-D scaling on the single-socket machine
+    c = amd["1D"]["cores"]
+    heat1d = amd["1D"]["series"]["heat-1d/jigsaw"]
+    assert heat1d[-1] / heat1d[0] > 0.9 * c[-1] / c[0]
+    # 3-D rolls off
+    heat3d = amd["3D"]["series"]["heat-3d/jigsaw"]
+    assert heat3d[-1] / heat3d[0] < 0.9 * c[-1] / c[0]

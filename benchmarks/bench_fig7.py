@@ -1,0 +1,14 @@
+"""Figure 7 — the Jigsaw ablation (performance breakdown) on Box-2D9P."""
+
+from repro.config import PAPER_MACHINES
+from repro.experiments import fig7
+
+from _bench_utils import emit
+
+
+def test_fig7_ablation(once):
+    results = once(fig7.data, PAPER_MACHINES)
+    emit("Figure 7: ablation study", fig7.run(PAPER_MACHINES))
+    for mname, res in results.items():
+        for p in res["by_size"]:
+            assert p.gstencil["+SDF"] > p.gstencil["+LBV"] > p.gstencil["base"]

@@ -1,0 +1,16 @@
+"""Figure 8 — SDF's effect on shuffle vs computation time."""
+
+from repro.config import PAPER_MACHINES
+from repro.experiments import fig8
+
+from _bench_utils import emit
+
+
+def test_fig8_hotspots(once):
+    results = once(fig8.data, PAPER_MACHINES)
+    emit("Figure 8: SDF hotspot breakdown", fig8.run(PAPER_MACHINES))
+    for mname, d in results.items():
+        red = d["reduction"]
+        # paper: shuffle -61.58%, compute -20.75%
+        assert abs(red["shuffle"] - 0.6158) < 0.10
+        assert red["compute"] > 0

@@ -1,0 +1,23 @@
+"""Figure 9 — sequential tiling-free performance vs problem size."""
+
+from repro.config import PAPER_MACHINES
+from repro.experiments import fig9
+
+from _bench_utils import emit
+
+
+def test_fig9_sequential_curves(once):
+    results = once(fig9.data, PAPER_MACHINES)
+    emit("Figure 9: sequential block-free GStencil/s", fig9.run(PAPER_MACHINES))
+    for mname, per_kernel in results.items():
+        for kernel, d in per_kernel.items():
+            s = d["series"]
+            # Jigsaw >= both classical baselines at every size
+            for i in range(len(d["sizes"])):
+                assert s["jigsaw"][i] >= s["reorg"][i]
+                assert s["jigsaw"][i] >= s["auto"][i] * 0.999
+            # the size sweep ends in DRAM (the stair bottoms out)
+            assert d["levels"][-1] == "DRAM"
+        # §4.3: T-Jigsaw falls back to Jigsaw's level for the 3-D box
+        box = per_kernel["box-3d27p"]["series"]
+        assert max(box["t-jigsaw"]) <= max(box["jigsaw"]) * 1.001

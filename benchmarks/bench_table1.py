@@ -1,0 +1,39 @@
+"""Table 1 — cross-lane vs in-lane instruction costs.
+
+Regenerates the cost rows and micro-benchmarks the simulated execution of
+the four shuffle instructions (semantic interpreter throughput)."""
+
+import numpy as np
+
+from repro.experiments import table1
+from repro.machine.isa import Instr, Op, execute_alu
+
+from _bench_utils import emit
+
+
+def test_table1_rows(once):
+    rows = once(table1.data)
+    emit("Table 1: shuffle instruction costs", table1.run())
+    assert len(rows) == 8
+    by_instr = {(d["machine"], d["instruction"]): d for d in rows}
+    for (_, instr), d in by_instr.items():
+        assert d["latency"] == d["paper_latency"]
+
+
+def _shuffle_workload():
+    regs = {"a": np.arange(4.0), "b": np.arange(4.0, 8.0)}
+    instrs = [
+        Instr(Op.SHUFPD, dst="s", srcs=("a", "b"), imm=0b0101),
+        Instr(Op.PERMILPD, dst="p", srcs=("a",), imm=0b0110),
+        Instr(Op.PERM2F128, dst="c", srcs=("a", "b"), imm=(1, 2)),
+        Instr(Op.PERMPD, dst="q", srcs=("a",), imm=(3, 2, 1, 0)),
+    ]
+    for _ in range(100):
+        for instr in instrs:
+            execute_alu(instr, regs, 4)
+    return regs["q"]
+
+
+def test_simulated_shuffle_throughput(benchmark):
+    out = benchmark(_shuffle_workload)
+    assert out.shape == (4,)

@@ -1,0 +1,11 @@
+"""Table 3 — stencil benchmark configurations (consistency check)."""
+
+from repro.experiments import table3
+
+from _bench_utils import emit
+
+
+def test_table3_configs(once):
+    rows = once(table3.data)
+    emit("Table 3: kernel configurations", table3.run())
+    assert [d["points"] for d in rows] == [3, 5, 7, 5, 9, 9, 7, 27]

@@ -1,0 +1,54 @@
+"""Autotuning bench — re-derives Table-3-like blockings from the model.
+
+Times the exhaustive (scheme x tile x depth) search and asserts the tuned
+configuration is at least as good as the paper's published blocking under
+the same model (it should be: the paper's rows are inside the candidate
+space's neighbourhood)."""
+
+from repro.analysis.report import render_table
+from repro.config import AMD_EPYC_7V13
+from repro.parallel.simulator import MulticoreModel, ParallelSetup
+from repro.schemes import model_cost
+from repro.stencils.library import table3_config
+from repro.tuning import autotune
+
+from _bench_utils import emit
+
+KERNELS = ("heat-1d", "heat-2d", "box-2d9p", "heat-3d")
+
+
+def _tune_all():
+    rows = []
+    model = MulticoreModel(AMD_EPYC_7V13)
+    for kernel in KERNELS:
+        cfg = table3_config(kernel)
+        steps = min(cfg.time_steps, 200)
+        result = autotune(cfg.spec, AMD_EPYC_7V13,
+                          problem_size=cfg.problem_size, steps=steps)
+        # the paper's blocking, evaluated under the same model
+        paper = model.estimate(
+            model_cost(result.best.scheme, cfg.spec, AMD_EPYC_7V13),
+            cfg.spec, points=cfg.grid_points(), steps=steps,
+            cores=AMD_EPYC_7V13.total_cores,
+            setup=ParallelSetup(tile_shape=cfg.tile_shape,
+                                time_depth=cfg.time_depth),
+        )
+        rows.append([
+            kernel,
+            "x".join(map(str, cfg.tile_shape)) + f"/Tb{cfg.time_depth}",
+            paper.gstencil_s,
+            "x".join(map(str, result.best.tile_shape))
+            + f"/Tb{result.best.time_depth}",
+            result.best.gstencil_s,
+            result.evaluated,
+        ])
+    return rows
+
+
+def test_autotuner_rederives_table3(once):
+    rows = once(_tune_all)
+    emit("Autotuning vs the paper's Table-3 blocking (AMD model)",
+         render_table(["kernel", "paper blocking", "GS/s",
+                       "tuned blocking", "GS/s", "candidates"], rows))
+    for kernel, _pb, paper_gs, _tb, tuned_gs, _n in rows:
+        assert tuned_gs >= paper_gs * 0.999, kernel

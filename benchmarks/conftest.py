@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one of the paper's tables/figures
+(printing the same rows/series the paper reports) and times the
+reproduction pipeline with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+@pytest.fixture
+def once(benchmark):
+    """Benchmark a heavy function exactly once per round (experiment
+    regenerations are deterministic; statistical resampling would just
+    repeat identical work)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

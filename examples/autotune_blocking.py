@@ -1,0 +1,66 @@
+"""Autotuning the blocking parameters — how Table 3's numbers arise.
+
+The paper "fine-tuned the size and blocking of each stencil kernel based
+on relevant work to guarantee peak performance" (§4.1).  This example
+reruns that process with the analytic model: for each Table-3 kernel it
+searches spatial tiles and tessellation time depths, prints the best
+configurations, and compares them against the paper's published blocking.
+
+Also places the kernel on the machine's roofline, showing *why* the tuner
+prefers deep time tiles: the kernel sits far left of the ridge point, and
+only temporal reuse moves it right.
+
+Run:  python examples/autotune_blocking.py
+"""
+
+from repro.analysis.report import render_table
+from repro.analysis.roofline import roofline_table
+from repro.config import AMD_EPYC_7V13
+from repro.stencils import library
+from repro.stencils.library import table3_config
+from repro.tuning import autotune
+
+machine = AMD_EPYC_7V13
+
+print(f"autotuning Table-3 kernels on {machine.name} "
+      f"({machine.total_cores} cores)\n")
+
+rows = []
+for kernel in ("heat-1d", "heat-2d", "box-2d9p", "heat-3d"):
+    cfg = table3_config(kernel)
+    spec = cfg.spec
+    result = autotune(spec, machine, problem_size=cfg.problem_size,
+                      steps=min(cfg.time_steps, 200))
+    best = result.best
+    rows.append([
+        kernel,
+        "x".join(map(str, cfg.tile_shape)) + f" / Tb={cfg.time_depth}",
+        "x".join(map(str, best.tile_shape)) + f" / Tb={best.time_depth}",
+        f"{best.gstencil_s:.1f}",
+        best.result.bottleneck,
+        result.evaluated,
+    ])
+print(render_table(
+    ["kernel", "paper blocking", "tuned blocking", "GStencil/s", "bound",
+     "candidates"],
+    rows,
+))
+
+# -- roofline: why deep time tiles win --------------------------------------------
+spec = library.get("heat-2d")
+print(f"\nroofline placement of heat-2d schemes on {machine.name} "
+      f"(one core):")
+pts = roofline_table(spec, machine)
+table = [
+    [p.scheme, f"{p.intensity:.2f}", f"{p.achieved_gflops:.1f}",
+     f"{p.bandwidth_ceiling_gflops['DRAM']:.1f}",
+     f"{p.compute_ceiling_gflops:.1f}"]
+    for p in pts
+]
+print(render_table(
+    ["scheme", "FLOP/byte", "achieved GF/s", "DRAM ceiling", "peak GF/s"],
+    table,
+))
+print("\nevery scheme's DRAM ceiling sits far below the compute peak — "
+      "stencils live left of the ridge point, so the tuner reaches for "
+      "temporal reuse (ITM + deep tessellation) before anything else.")

@@ -1,0 +1,55 @@
+"""Instruction-set generality study — the paper's §4.6 discussion.
+
+All AVX-family registers are built from 128-bit lanes, so LBV's
+lane-granular butterfly applies to SSE (1 lane), AVX2 (2) and AVX-512 (4)
+alike.  This example lowers the same kernels at all three widths,
+validates them on the width-parametric SIMD machine, and compares the
+per-vector instruction mixes and modelled throughput.
+
+Run:  python examples/isa_width_study.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.config import AMD_EPYC_7V13
+from repro.core.jigsaw import generate_jigsaw, required_halo
+from repro.machine.perfmodel import PerformanceModel
+from repro.stencils import apply_steps, library
+from repro.stencils.grid import Grid
+from repro.vectorize.driver import run_program
+
+BASE = AMD_EPYC_7V13
+WIDTHS = {"SSE (128b)": 128, "AVX2 (256b)": 256, "AVX-512 (512b)": 512}
+
+for kernel in ("heat-1d", "box-2d9p"):
+    spec = library.get(kernel)
+    rows = []
+    for label, bits in WIDTHS.items():
+        machine = BASE.with_vector_bits(bits)
+        w = machine.vector_elems
+        shape = (4,) * (spec.ndim - 1) + (12 * w,)
+        grid = Grid.random(shape, required_halo(spec, machine), seed=5)
+        prog = generate_jigsaw(spec, machine, grid)
+
+        # validate on the width-parametric interpreter
+        got = run_program(prog, grid, 2)
+        ref = apply_steps(spec, grid, 2)
+        assert np.allclose(got.interior, ref.interior, rtol=1e-12)
+
+        pv = prog.per_vector_mix()
+        model = PerformanceModel(machine)
+        est = model.estimate(model.kernel_cost(prog),
+                             points=10**8, steps=100)
+        rows.append([label, w, machine.lanes, pv["C"], pv["I"],
+                     est.gstencil_s])
+    print(f"\nJigsaw across SIMD widths — {spec.name}:")
+    print(render_table(
+        ["ISA", "elems/reg", "lanes", "cross-lane/vec", "in-lane/vec",
+         "modelled GStencil/s"],
+        rows,
+    ))
+
+print("\nLBV stays correct and conflict-reduced at every lane count; wider "
+      "registers trade slightly more cross-lane work per vector for twice "
+      "the elements per instruction (§4.6's AVX10 outlook).")

@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs (offline environments without the
+``wheel`` package, where PEP 660 editable wheels cannot be built).
+
+Use ``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

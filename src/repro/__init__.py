@@ -1,0 +1,26 @@
+"""Jigsaw — conflict-free vectorized stencil computation by tessellating
+swizzled registers (PPoPP'25), reproduced in Python.
+
+Python has no register-level control, so the hardware is substituted by a
+faithful SIMD register-machine simulator plus analytic pipeline/cache
+models (see DESIGN.md).  Quick start: ``examples/quickstart.py``.
+
+Subpackages
+-----------
+``stencils``    kernel specs, grids, boundaries, references
+``machine``     SIMD ISA interpreter + cost/pipeline/cache models
+``vectorize``   baseline scheme generators (Auto, Reorg, Folding, Tess.)
+``core``        Jigsaw: LBV, SDF, ITM, planner, compiled kernels
+``tiling``      spatial blocking + tessellating tiling
+``parallel``    multicore model + real thread-pool executor
+``analysis``    Table-2 accounting, hotspots, ablation, metrics
+``experiments`` one runner per paper table/figure
+``schemes``     the scheme registry used across analyses
+"""
+
+from . import config, errors
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["config", "errors", "ReproError", "__version__"]

@@ -1,0 +1,234 @@
+"""The ``python -m repro`` command-line interface.
+
+Subcommands::
+
+    kernels                      list the kernel library
+    machines                     list machine models
+    inspect SCHEME KERNEL        print the generated program + mix
+    estimate SCHEME KERNEL ...   modelled GStencil/s for a problem
+    tune KERNEL ...              autotune blocking for a problem
+    run KERNEL ...               execute the numpy path and time it
+    experiments [ID ...]         regenerate paper tables/figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .analysis.report import render_dict, render_table
+from .config import PAPER_MACHINES, get_machine
+from .errors import ReproError
+
+
+def _add_machine_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--machine", default=PAPER_MACHINES[0].name,
+                   help="machine model name (default: %(default)s)")
+
+
+def _size(text: str) -> tuple:
+    return tuple(int(t) for t in text.lower().split("x"))
+
+
+def cmd_kernels(_args) -> int:
+    from .stencils import library
+    rows = []
+    for name in library.names():
+        spec = library.get(name)
+        rows.append([name, spec.tag, "star" if spec.is_star else "box",
+                     spec.order, spec.npoints])
+    print(render_table(["kernel", "tag", "shape", "order", "points"], rows))
+    return 0
+
+
+def cmd_machines(_args) -> int:
+    from .config import _REGISTRY  # noqa: SLF001 - CLI introspection
+    rows = []
+    for m in _REGISTRY.values():
+        rows.append([m.name, m.isa, m.freq_ghz, m.total_cores,
+                     m.vector_elems, m.vector_registers])
+    print(render_table(
+        ["machine", "isa", "GHz", "cores", "elems/reg", "regs"], rows))
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    from .analysis.hotspots import hotspot_breakdown
+    from .machine.pipeline import PipelineModel
+    from .schemes import model_program
+    from .stencils import library
+    machine = get_machine(args.machine)
+    spec = library.get(args.kernel)
+    prog = model_program(args.scheme, spec, machine)
+    print(prog.listing())
+    print()
+    print(render_dict("per-vector mix", prog.per_vector_mix()))
+    est = PipelineModel(machine).estimate(prog)
+    util = {
+        f"port {k}": f"{v / est.cycles_per_iter * 100:.0f}%"
+        for k, v in est.port_cycles.items() if v
+    }
+    print(render_dict("pipeline estimate", {
+        "cycles/iter": est.cycles_per_iter,
+        "bound": est.bound,
+        "stall penalty": est.stall_penalty,
+        "spills": est.spills,
+        **util,
+    }))
+    hb = hotspot_breakdown(prog, machine)
+    print(render_dict("hotspot events (cycles/vector)",
+                      dict(hb.events[:8])))
+    print(f"max live registers: {prog.max_live_registers()} "
+          f"(budget {machine.vector_registers})")
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    from .parallel.simulator import MulticoreModel, ParallelSetup
+    from .schemes import model_cost
+    from .stencils import library
+    machine = get_machine(args.machine)
+    spec = library.get(args.kernel)
+    cost = model_cost(args.scheme, spec, machine)
+    points = 1
+    for n in args.size:
+        points *= n
+    setup = ParallelSetup(
+        tile_shape=args.tile, time_depth=args.time_depth,
+    ) if args.tile else ParallelSetup(time_depth=args.time_depth)
+    res = MulticoreModel(machine).estimate(
+        cost, spec, points=points, steps=args.steps,
+        cores=args.cores or machine.total_cores, setup=setup,
+    )
+    print(render_dict(
+        f"{args.scheme} / {args.kernel} on {machine.name}",
+        {
+            "GStencil/s": res.gstencil_s,
+            "time (s)": res.time_s,
+            "bottleneck": res.bottleneck,
+            "fed from": res.level,
+        },
+    ))
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from .stencils import library
+    from .tuning import autotune
+    machine = get_machine(args.machine)
+    spec = library.get(args.kernel)
+    result = autotune(spec, machine, problem_size=args.size,
+                      steps=args.steps, cores=args.cores)
+    print(result.summary())
+    rows = [
+        [c.scheme, "x".join(map(str, c.tile_shape)), c.time_depth,
+         c.gstencil_s, c.result.bottleneck]
+        for c in result.ranking[:args.top]
+    ]
+    print(render_table(["scheme", "tile", "Tb", "GStencil/s", "bound"],
+                       rows))
+    return 0
+
+
+def cmd_run(args) -> int:
+    from .core import compile_kernel
+    from .stencils import library
+    from .stencils.grid import Grid
+    machine = get_machine(args.machine)
+    spec = library.get(args.kernel)
+    template = compile_kernel(spec, machine, Grid(args.size, 16))
+    grid = template.grid_like(args.size, seed=0)
+    kernel = compile_kernel(spec, machine, grid)
+    steps = args.steps - args.steps % kernel.plan.time_fusion
+    t0 = time.perf_counter()
+    kernel.run_numpy(grid, steps)
+    dt = time.perf_counter() - t0
+    points = grid.npoints()
+    print(f"{spec.name}: {steps} steps over {'x'.join(map(str, args.size))} "
+          f"in {dt:.3f}s ({points * steps / dt / 1e6:.1f} MStencil/s, "
+          f"numpy path, plan: {kernel.plan.describe()})")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from .config import get_machine as _gm
+    from .validate import DEFAULT_MACHINES, validate
+    machines = ([_gm(args.machine)] if args.machine else DEFAULT_MACHINES)
+    report = validate(machines=machines)
+    print(report.summary())
+    return 0 if report.all_ok else 1
+
+
+def cmd_experiments(args) -> int:
+    from .experiments.__main__ import main as exp_main
+    return exp_main(args.ids)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("kernels").set_defaults(fn=cmd_kernels)
+    sub.add_parser("machines").set_defaults(fn=cmd_machines)
+
+    p = sub.add_parser("inspect")
+    p.add_argument("scheme")
+    p.add_argument("kernel")
+    _add_machine_arg(p)
+    p.set_defaults(fn=cmd_inspect)
+
+    p = sub.add_parser("estimate")
+    p.add_argument("scheme")
+    p.add_argument("kernel")
+    p.add_argument("--size", type=_size, required=True,
+                   help="interior extents, e.g. 10000x10000")
+    p.add_argument("--steps", type=int, default=100)
+    p.add_argument("--cores", type=int, default=None)
+    p.add_argument("--tile", type=_size, default=None)
+    p.add_argument("--time-depth", type=int, default=1)
+    _add_machine_arg(p)
+    p.set_defaults(fn=cmd_estimate)
+
+    p = sub.add_parser("tune")
+    p.add_argument("kernel")
+    p.add_argument("--size", type=_size, required=True)
+    p.add_argument("--steps", type=int, default=100)
+    p.add_argument("--cores", type=int, default=None)
+    p.add_argument("--top", type=int, default=8)
+    _add_machine_arg(p)
+    p.set_defaults(fn=cmd_tune)
+
+    p = sub.add_parser("run")
+    p.add_argument("kernel")
+    p.add_argument("--size", type=_size, required=True)
+    p.add_argument("--steps", type=int, default=10)
+    _add_machine_arg(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("validate")
+    p.add_argument("--machine", default=None,
+                   help="restrict to one machine model (default: all widths)")
+    p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("experiments")
+    p.add_argument("ids", nargs="*", default=None)
+    p.set_defaults(fn=cmd_experiments)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Analysis utilities: the paper's instruction accounting (Table 2), the
+GStencil/s metric (Eq. 3), the Figure-8 hotspot breakdown, and the
+Figure-7 ablation ladder.
+"""
+
+from .metrics import gstencil_per_s, speedup, geomean
+from .instruction_count import (
+    PAPER_TABLE2,
+    measured_table2_row,
+    analytic_table2_row,
+)
+from .hotspots import HotspotBreakdown, hotspot_breakdown, sdf_reduction
+from .ablation import AblationPoint, ablation_study
+from .report import render_table, render_series
+from .roofline import RooflinePoint, roofline_point, roofline_table
+
+__all__ = [
+    "gstencil_per_s",
+    "speedup",
+    "geomean",
+    "PAPER_TABLE2",
+    "measured_table2_row",
+    "analytic_table2_row",
+    "HotspotBreakdown",
+    "hotspot_breakdown",
+    "sdf_reduction",
+    "AblationPoint",
+    "ablation_study",
+    "render_table",
+    "render_series",
+    "RooflinePoint",
+    "roofline_point",
+    "roofline_table",
+]

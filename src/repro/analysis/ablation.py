@@ -1,0 +1,98 @@
+"""Figure 7 — the Jigsaw optimization ladder.
+
+Starting from the Tessellating-Tiling base (Reorg in-core scheme + tiling)
+and adding LBV, then SDF, then ITM, the study reports absolute GStencil/s
+and each rung's contribution, as a function of problem size (fixed time
+iterations) and of time iterations (fixed problem size) on both machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import MachineConfig
+from ..parallel.simulator import MulticoreModel, ParallelSetup
+from ..schemes import model_cost
+from ..stencils.spec import StencilSpec
+
+#: ladder rung -> scheme-registry name
+LADDER: Tuple[Tuple[str, str], ...] = (
+    ("base", "reorg"),
+    ("+LBV", "lbv"),
+    ("+SDF", "jigsaw"),
+    ("+ITM", "t-jigsaw"),
+)
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    machine: str
+    size: Tuple[int, ...]
+    steps: int
+    gstencil: Dict[str, float]       #: rung -> absolute GStencil/s
+    contribution: Dict[str, float]   #: rung -> fraction of the full gain
+
+    @property
+    def total_speedup(self) -> float:
+        return self.gstencil["+ITM"] / self.gstencil["base"]
+
+
+def ablation_study(
+    spec: StencilSpec,
+    machine: MachineConfig,
+    *,
+    sizes: Sequence[Tuple[int, ...]],
+    steps: int,
+    tile_shape: Optional[Sequence[int]] = None,
+    cores: int = 1,
+) -> List[AblationPoint]:
+    """One ablation curve: each rung's modelled GStencil/s per size."""
+    model = MulticoreModel(machine)
+    costs = {rung: model_cost(scheme, spec, machine)
+             for rung, scheme in LADDER}
+    points_list: List[AblationPoint] = []
+    for size in sizes:
+        n = 1
+        for s in size:
+            n *= s
+        setup = ParallelSetup(tile_shape=tile_shape,
+                              time_depth=2 if tile_shape else 1)
+        gs: Dict[str, float] = {}
+        for rung, _ in LADDER:
+            res = model.estimate(costs[rung], spec, points=n, steps=steps,
+                                 cores=cores, setup=setup)
+            gs[rung] = res.gstencil_s
+        gain = gs["+ITM"] - gs["base"]
+        contrib: Dict[str, float] = {}
+        prev = gs["base"]
+        for rung, _ in LADDER[1:]:
+            contrib[rung] = (gs[rung] - prev) / gain if gain > 0 else 0.0
+            prev = gs[rung]
+        points_list.append(AblationPoint(
+            machine=machine.name,
+            size=tuple(size),
+            steps=steps,
+            gstencil=gs,
+            contribution=contrib,
+        ))
+    return points_list
+
+
+def ablation_vs_steps(
+    spec: StencilSpec,
+    machine: MachineConfig,
+    *,
+    size: Tuple[int, ...],
+    steps_list: Sequence[int],
+    tile_shape: Optional[Sequence[int]] = None,
+    cores: int = 1,
+) -> List[AblationPoint]:
+    """The Figure-7(b) companion: fixed size, varying time iterations."""
+    out = []
+    for steps in steps_list:
+        out.extend(ablation_study(
+            spec, machine, sizes=[size], steps=steps,
+            tile_shape=tile_shape, cores=cores,
+        ))
+    return out

@@ -1,0 +1,89 @@
+"""Figure 8 — shuffle vs computation time, before/after SDF.
+
+The paper profiles the Box-2D9P run with VTune and shows SDF cutting
+shuffle time by 61.58% and computation by 20.75%.  Our substitute is the
+simulated equivalent: classify each instruction of the generated stream by
+category, weight by its reciprocal throughput (the time the execution
+ports spend on it), and compare the LBV-only stream against the LBV+SDF
+stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..config import MachineConfig
+from ..machine.costs import CostTable, cost_table_for
+from ..machine.isa import InstrClass
+from ..schemes import model_program
+from ..stencils.spec import StencilSpec
+from ..vectorize.program import VectorProgram
+
+
+@dataclass(frozen=True)
+class HotspotBreakdown:
+    """Per-vector port-time by category (the Figure-8 horizontal bars)."""
+
+    scheme: str
+    shuffle_cycles: float
+    compute_cycles: float
+    load_cycles: float
+    store_cycles: float
+    other_cycles: float
+    events: Tuple[Tuple[str, float], ...]  #: per-opcode (the vertical bars)
+
+    @property
+    def total_cycles(self) -> float:
+        return (self.shuffle_cycles + self.compute_cycles + self.load_cycles
+                + self.store_cycles + self.other_cycles)
+
+    @property
+    def shuffle_share(self) -> float:
+        return self.shuffle_cycles / self.total_cycles if self.total_cycles else 0.0
+
+
+def hotspot_breakdown(program: VectorProgram, machine: MachineConfig,
+                      table: CostTable | None = None) -> HotspotBreakdown:
+    """Classify one body execution's port time, normalized per output
+    vector per fused step."""
+    table = table or cost_table_for(machine)
+    denom = program.vectors_per_iter * program.steps_per_iter
+    buckets: Dict[InstrClass, float] = {}
+    per_op: Dict[str, float] = {}
+    for instr in program.body:
+        t = table.cpi(instr.op) / denom
+        buckets[instr.klass] = buckets.get(instr.klass, 0.0) + t
+        per_op[instr.op.value] = per_op.get(instr.op.value, 0.0) + t
+    events = tuple(sorted(per_op.items(), key=lambda kv: -kv[1]))
+    return HotspotBreakdown(
+        scheme=program.scheme,
+        shuffle_cycles=buckets.get(InstrClass.CROSS_LANE, 0.0)
+        + buckets.get(InstrClass.IN_LANE, 0.0),
+        compute_cycles=buckets.get(InstrClass.ARITH, 0.0),
+        load_cycles=buckets.get(InstrClass.LOAD, 0.0),
+        store_cycles=buckets.get(InstrClass.STORE, 0.0),
+        other_cycles=buckets.get(InstrClass.OTHER, 0.0),
+        events=events,
+    )
+
+
+def sdf_reduction(
+    spec: StencilSpec, machine: MachineConfig
+) -> Tuple[HotspotBreakdown, HotspotBreakdown, Dict[str, float]]:
+    """(before, after, reductions) for the Figure-8 experiment: the same
+    kernel lowered without SDF (per-row butterflies) and with SDF.
+
+    ``reductions`` holds the fractional drop in shuffle and compute time —
+    the paper's 61.6% / 20.8% figures for Box-2D9P."""
+    before = hotspot_breakdown(model_program("lbv", spec, machine), machine)
+    after = hotspot_breakdown(model_program("jigsaw", spec, machine), machine)
+    red = {
+        "shuffle": 1.0 - after.shuffle_cycles / before.shuffle_cycles
+        if before.shuffle_cycles else 0.0,
+        "compute": 1.0 - after.compute_cycles / before.compute_cycles
+        if before.compute_cycles else 0.0,
+        "total": 1.0 - after.total_cycles / before.total_cycles
+        if before.total_cycles else 0.0,
+    }
+    return before, after, red

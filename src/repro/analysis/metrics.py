@@ -1,0 +1,55 @@
+"""Performance metrics.
+
+The paper measures GStencil/s (Eq. 3): grid-point updates per second in
+billions.  Speedup comparisons in Figure 10 are taken relative to the
+slowest method of each kernel group (SDSL in the paper's runs).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+from ..errors import ModelError
+
+
+def gstencil_per_s(points: int, steps: int, seconds: float) -> float:
+    """Equation 3: ``T * prod(N_i) / (t * 1e9)``."""
+    if seconds <= 0:
+        raise ModelError("elapsed time must be positive")
+    if points <= 0 or steps <= 0:
+        raise ModelError("points and steps must be positive")
+    return points * steps / seconds / 1e9
+
+
+def speedup(value: float, baseline: float) -> float:
+    if baseline <= 0:
+        raise ModelError("baseline must be positive")
+    return value / baseline
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ModelError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ModelError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def relative_speedups(results: Dict[str, float],
+                      *, baseline: str | None = None) -> Dict[str, float]:
+    """Speedup of every method relative to ``baseline`` (default: the
+    slowest method, the paper's Figure-10 convention)."""
+    if not results:
+        raise ModelError("no results to compare")
+    if baseline is None:
+        baseline = min(results, key=lambda k: results[k])
+    base = results[baseline]
+    return {k: speedup(v, base) for k, v in results.items()}
+
+
+def amortized(value: float, steps: int) -> float:
+    if steps < 1:
+        raise ModelError("steps must be >= 1")
+    return value / steps

@@ -1,0 +1,57 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness is terminal-based; each experiment prints the same
+rows/series the paper's tables and figures report, via these helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.3f}".rstrip("0").rstrip(".")
+    return str(v)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """A fixed-width ASCII table."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence,
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str = "",
+) -> str:
+    """A figure rendered as one table: x column + one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    body = render_table(headers, rows)
+    return f"{title}\n{body}" if title else body
+
+
+def render_dict(title: str, data: Dict[str, object]) -> str:
+    lines = [title]
+    width = max((len(k) for k in data), default=0)
+    for k, v in data.items():
+        lines.append(f"  {k.ljust(width)} : {_fmt(v)}")
+    return "\n".join(lines)

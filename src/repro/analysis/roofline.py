@@ -1,0 +1,117 @@
+"""Roofline analysis of generated kernels.
+
+Places each (scheme, kernel) on the classical roofline: operational
+intensity (FLOPs per byte of compulsory traffic) against the machine's
+compute ceiling and per-level bandwidth ceilings.  This explains *why*
+the Figure-9 curves look the way they do — stencils sit far left of the
+ridge point, so everything above the active bandwidth ceiling is wasted
+compute capability, and Jigsaw's gains come from raising the achieved
+fraction of that ceiling (fewer non-compute instructions), while ITM's
+come from moving the kernel *rightwards* (more steps per byte).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..config import MachineConfig
+from ..errors import ModelError
+from ..machine.perfmodel import PerformanceModel
+from ..schemes import model_cost, model_program
+from ..stencils.spec import StencilSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel/scheme placed on the roofline."""
+
+    scheme: str
+    kernel: str
+    flops_per_point: float
+    bytes_per_point: float          #: compulsory traffic per point per step
+    intensity: float                #: FLOP / byte
+    achieved_gflops: float          #: from the pipeline model
+    compute_ceiling_gflops: float
+    bandwidth_ceiling_gflops: Dict[str, float]  #: per memory level
+
+    def ceiling_at(self, level: str) -> float:
+        """The roofline height at this point's intensity for ``level``."""
+        return min(self.compute_ceiling_gflops,
+                   self.bandwidth_ceiling_gflops[level])
+
+    @property
+    def memory_bound_at_dram(self) -> bool:
+        return self.bandwidth_ceiling_gflops["DRAM"] \
+            < self.compute_ceiling_gflops
+
+
+def peak_gflops(machine: MachineConfig) -> float:
+    """Compute ceiling: FMA throughput x width x 2 FLOPs, one core."""
+    return (machine.fma_ports * machine.vector_elems * 2.0
+            * machine.freq_ghz)
+
+
+def flops_of(spec: StencilSpec) -> float:
+    """FLOPs per point per step of the *mathematical* kernel: one multiply
+    per tap plus the accumulating adds."""
+    return 2.0 * spec.npoints - 1.0
+
+
+def roofline_point(
+    scheme: str,
+    spec: StencilSpec,
+    machine: MachineConfig,
+    *,
+    steps_per_byte_bonus: Optional[float] = None,
+) -> RooflinePoint:
+    """Place one scheme/kernel pair on ``machine``'s roofline."""
+    cost = model_cost(scheme, spec, machine)
+    program = model_program(scheme, spec, machine)
+    elem = machine.element_bytes
+    # compulsory traffic: read + write each point once per fused sweep
+    bytes_pp = 2.0 * elem / cost.steps_per_iter
+    if steps_per_byte_bonus:
+        bytes_pp /= steps_per_byte_bonus
+    flops_pp = flops_of(spec)
+    intensity = flops_pp / bytes_pp
+    # achieved compute rate from the pipeline model
+    points_per_cycle = cost.elems_per_iter * cost.steps_per_iter \
+        / cost.cycles_per_iter
+    achieved = points_per_cycle * flops_pp * machine.freq_ghz
+    bw_ceilings: Dict[str, float] = {}
+    model = PerformanceModel(machine)
+    for level in machine.caches:
+        bw_ceilings[level.name] = intensity * \
+            model.memory.bandwidth(level, 1)
+    bw_ceilings["DRAM"] = intensity * model.memory.bandwidth(None, 1)
+    return RooflinePoint(
+        scheme=scheme,
+        kernel=spec.name,
+        flops_per_point=flops_pp,
+        bytes_per_point=bytes_pp,
+        intensity=intensity,
+        achieved_gflops=achieved,
+        compute_ceiling_gflops=peak_gflops(machine),
+        bandwidth_ceiling_gflops=bw_ceilings,
+    )
+
+
+def roofline_table(
+    spec: StencilSpec,
+    machine: MachineConfig,
+    *,
+    schemes: Tuple[str, ...] = ("auto", "reorg", "jigsaw", "t-jigsaw"),
+) -> List[RooflinePoint]:
+    """Roofline placement of several schemes for one kernel."""
+    points = []
+    for scheme in schemes:
+        try:
+            points.append(roofline_point(scheme, spec, machine))
+        except Exception as exc:  # scheme unsupported for this kernel
+            from ..errors import ReproError
+            if not isinstance(exc, ReproError):
+                raise
+    if not points:
+        raise ModelError(f"no scheme produced a roofline point for {spec.name}")
+    return points

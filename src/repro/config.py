@@ -1,0 +1,239 @@
+"""Machine configurations used throughout the reproduction.
+
+The paper evaluates on two machines (§4.1):
+
+* a dual-socket **Intel Xeon Gold 6230R** (2.10 GHz, 52 physical cores,
+  32 KB L1 / 1 MB L2 per core, 35.75 MB shared L3, AVX2), and
+* an Azure **AMD EPYC 7V13** node (2.45 GHz, 24 physical cores,
+  32 KB L1 / 512 KB L2 per core, 96 MB shared L3, AVX2).
+
+The paper's §4.1 quotes the AMD caches as aggregate figures
+(768 KB L1 = 24 x 32 KB, 12 MB L2 = 24 x 512 KB); we store per-core sizes.
+
+A :class:`MachineConfig` carries everything the analytic performance model
+(:mod:`repro.machine.pipeline`, :mod:`repro.machine.memory`,
+:mod:`repro.parallel.simulator`) needs: clock, SIMD geometry, execution-port
+counts, the cache hierarchy with per-level bandwidths, and multi-socket /
+NUMA parameters.  Bandwidth numbers are representative figures for these
+microarchitectures; the reproduction targets *shape* fidelity (which method
+wins, where size crossovers fall), not absolute GStencil/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from .errors import ModelError
+
+#: bytes per 128-bit SIMD lane (the finest-grained unit the paper swizzles)
+LANE_BYTES = 16
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the data-cache hierarchy.
+
+    ``size_bytes`` is the capacity *visible to one core* (private levels) or
+    the full shared capacity (``shared=True``).  ``bandwidth_gbs`` is the
+    sustainable per-core bandwidth out of this level;
+    ``total_bandwidth_gbs`` caps the aggregate draw of all cores for shared
+    levels (``None`` means it scales linearly with cores).
+    """
+
+    name: str
+    size_bytes: int
+    bandwidth_gbs: float
+    shared: bool = False
+    total_bandwidth_gbs: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ModelError(f"cache level {self.name!r}: size must be positive")
+        if self.bandwidth_gbs <= 0:
+            raise ModelError(f"cache level {self.name!r}: bandwidth must be positive")
+
+    def aggregate_bandwidth(self, cores: int) -> float:
+        """Bandwidth available when ``cores`` cores pull concurrently."""
+        linear = self.bandwidth_gbs * cores
+        if self.total_bandwidth_gbs is None:
+            return linear
+        return min(linear, self.total_bandwidth_gbs)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A CPU description sufficient for the Jigsaw cost model."""
+
+    name: str
+    isa: str  # "sse" | "avx2" | "avx512"
+    freq_ghz: float
+    vector_bits: int
+    cores_per_socket: int
+    sockets: int
+    #: execution-port widths (instructions issued per cycle)
+    fma_ports: int = 2
+    inlane_shuffle_ports: int = 2  # vshufpd sustains 0.5 CPI (Table 1)
+    crosslane_shuffle_ports: int = 1  # vpermpd/vperm2f128: 1 CPI (Table 1)
+    load_ports: int = 2
+    store_ports: int = 1
+    #: architectural vector registers (16 for SSE/AVX2 x86-64, 32 for
+    #: AVX-512) — the spill model's budget
+    vector_registers: int = 16
+    #: multi-socket behaviour
+    numa_remote_penalty: float = 0.35  # fractional slowdown of remote traffic
+    sync_overhead_us: float = 3.0  # per parallel phase barrier
+    caches: Tuple[CacheLevel, ...] = field(default_factory=tuple)
+    dram_bandwidth_gbs: float = 100.0  # per socket
+    element_bytes: int = 8  # float64 throughout, as in the paper
+
+    def __post_init__(self) -> None:
+        if self.vector_bits % 128 != 0:
+            raise ModelError("vector_bits must be a multiple of the 128-bit lane")
+        if self.freq_ghz <= 0:
+            raise ModelError("freq_ghz must be positive")
+        if self.cores_per_socket <= 0 or self.sockets <= 0:
+            raise ModelError("core/socket counts must be positive")
+
+    # -- SIMD geometry -----------------------------------------------------
+    @property
+    def vector_elems(self) -> int:
+        """Elements (float64) per vector register."""
+        return self.vector_bits // (8 * self.element_bytes)
+
+    @property
+    def lanes(self) -> int:
+        """Number of 128-bit lanes per vector register."""
+        return self.vector_bits // (8 * LANE_BYTES)
+
+    @property
+    def elems_per_lane(self) -> int:
+        return LANE_BYTES // self.element_bytes
+
+    @property
+    def total_cores(self) -> int:
+        return self.cores_per_socket * self.sockets
+
+    @property
+    def vector_bytes(self) -> int:
+        return self.vector_bits // 8
+
+    def total_dram_bandwidth(self, cores: int | None = None) -> float:
+        """Aggregate DRAM bandwidth reachable by ``cores`` cores (GB/s)."""
+        cores = self.total_cores if cores is None else cores
+        sockets_used = min(self.sockets, max(1, -(-cores // self.cores_per_socket)))
+        return self.dram_bandwidth_gbs * sockets_used
+
+    def with_vector_bits(self, bits: int) -> "MachineConfig":
+        """A copy of this machine with a different SIMD width (for AVX-512
+        what-if studies, §4.6)."""
+        return replace(self, vector_bits=bits)
+
+
+def _intel_xeon_6230r() -> MachineConfig:
+    return MachineConfig(
+        name="intel-xeon-6230r",
+        isa="avx2",
+        freq_ghz=2.10,
+        vector_bits=256,
+        cores_per_socket=26,
+        sockets=2,
+        numa_remote_penalty=0.35,
+        sync_overhead_us=3.0,
+        caches=(
+            CacheLevel("L1", 32 * 1024, 130.0),
+            CacheLevel("L2", 1024 * 1024, 65.0),
+            CacheLevel("L3", int(35.75 * 1024 * 1024), 38.0, shared=True,
+                       total_bandwidth_gbs=320.0),
+        ),
+        dram_bandwidth_gbs=105.0,  # six DDR4-2933 channels per socket
+    )
+
+
+def _amd_epyc_7v13() -> MachineConfig:
+    return MachineConfig(
+        name="amd-epyc-7v13",
+        isa="avx2",
+        freq_ghz=2.45,
+        vector_bits=256,
+        cores_per_socket=24,
+        sockets=1,
+        numa_remote_penalty=0.0,
+        sync_overhead_us=2.0,
+        caches=(
+            CacheLevel("L1", 32 * 1024, 150.0),
+            CacheLevel("L2", 512 * 1024, 75.0),
+            CacheLevel("L3", 96 * 1024 * 1024, 45.0, shared=True,
+                       total_bandwidth_gbs=420.0),
+        ),
+        dram_bandwidth_gbs=180.0,
+    )
+
+
+def _generic(bits: int, name: str) -> MachineConfig:
+    return MachineConfig(
+        name=name,
+        isa={128: "sse", 256: "avx2", 512: "avx512"}[bits],
+        freq_ghz=2.0,
+        vector_bits=bits,
+        cores_per_socket=8,
+        sockets=1,
+        vector_registers=32 if bits == 512 else 16,
+        caches=(
+            CacheLevel("L1", 32 * 1024, 120.0),
+            CacheLevel("L2", 512 * 1024, 60.0),
+            CacheLevel("L3", 16 * 1024 * 1024, 30.0, shared=True,
+                       total_bandwidth_gbs=200.0),
+        ),
+        dram_bandwidth_gbs=80.0,
+    )
+
+
+INTEL_XEON_6230R = _intel_xeon_6230r()
+AMD_EPYC_7V13 = _amd_epyc_7v13()
+GENERIC_SSE = _generic(128, "generic-sse")
+GENERIC_AVX2 = _generic(256, "generic-avx2")
+GENERIC_AVX512 = _generic(512, "generic-avx512")
+
+#: single-precision variants: 4-byte elements, 4 per 128-bit lane.  The
+#: ps-family shuffle ISA (vshufps/vpermilps/vunpck*ps) replaces the pd
+#: family; the butterfly algebra is identical (DESIGN.md / docs/isa.md).
+GENERIC_SSE_F32 = replace(GENERIC_SSE, element_bytes=4,
+                          name="generic-sse-f32")
+GENERIC_AVX2_F32 = replace(GENERIC_AVX2, element_bytes=4,
+                           name="generic-avx2-f32")
+GENERIC_AVX512_F32 = replace(GENERIC_AVX512, element_bytes=4,
+                             name="generic-avx512-f32")
+
+_REGISTRY: Dict[str, MachineConfig] = {
+    m.name: m
+    for m in (INTEL_XEON_6230R, AMD_EPYC_7V13, GENERIC_SSE, GENERIC_AVX2,
+              GENERIC_AVX512, GENERIC_SSE_F32, GENERIC_AVX2_F32,
+              GENERIC_AVX512_F32)
+}
+
+#: The two machines the paper evaluates on (§4.1).
+PAPER_MACHINES: Tuple[MachineConfig, MachineConfig] = (AMD_EPYC_7V13,
+                                                       INTEL_XEON_6230R)
+
+
+def get_machine(name: str) -> MachineConfig:
+    """Look up a machine configuration by name.
+
+    Raises :class:`~repro.errors.ModelError` for unknown names, listing the
+    available ones.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown machine {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def register_machine(config: MachineConfig, *, overwrite: bool = False) -> None:
+    """Register a custom machine so experiment runners can refer to it by
+    name."""
+    if config.name in _REGISTRY and not overwrite:
+        raise ModelError(f"machine {config.name!r} already registered")
+    _REGISTRY[config.name] = config

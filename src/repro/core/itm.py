@@ -1,0 +1,94 @@
+"""Iteration-based Temporal Merging (ITM) — §3.3.
+
+A Jacobi sweep is a linear convolution of the grid with the coefficient
+array, so ``s`` consecutive sweeps equal one sweep with the coefficient
+array's ``s``-th convolution power (the paper's Figure 5/6 coefficient
+unfolding: the 2D5P stencil squared becomes the 13-point stencil with
+``β``/``γ`` weights; the 1D3P stencil cubed becomes the 7-point stencil
+with the ``β_i`` polynomial weights of Figure 6).
+
+The fused stencil has radius ``s·r`` and keeps the coefficient symmetry of
+the base stencil (the convolution of centro-symmetric arrays is
+centro-symmetric), so SDF applies unchanged afterwards — exactly the ITM →
+SDF pipeline of Figure 5.
+
+Exactness caveat: the identity holds on an unbounded (or periodic) domain;
+with Dirichlet ghosts the fused operator differs near boundaries, so the
+driver restricts fused programs to periodic halos (DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PlanError
+from ..stencils.spec import StencilSpec, from_array
+
+
+def convolution_power(coeffs: np.ndarray, s: int) -> np.ndarray:
+    """The ``s``-th full convolution power of a dense coefficient array."""
+    if s < 1:
+        raise PlanError(f"fusion depth must be >= 1, got {s}")
+    result = coeffs
+    for _ in range(s - 1):
+        result = _convolve_full(result, coeffs)
+    return result
+
+
+def _convolve_full(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense full ND convolution (direct sum; kernels are tiny)."""
+    out_shape = tuple(sa + sb - 1 for sa, sb in zip(a.shape, b.shape))
+    out = np.zeros(out_shape)
+    for idx in np.ndindex(*b.shape):
+        sl = tuple(slice(i, i + sa) for i, sa in zip(idx, a.shape))
+        out[sl] += a * b[idx]
+    return out
+
+
+def merged_spec(spec: StencilSpec, steps: int, *, tol: float = 0.0) -> StencilSpec:
+    """The stencil computing ``steps`` Jacobi sweeps of ``spec`` at once.
+
+    ``steps=1`` returns ``spec`` unchanged.  Structural zeros produced by
+    the convolution (e.g. the corner holes of a fused star) are kept when
+    their dropping would change semantics — with ``tol=0`` only exact
+    zeros are dropped.
+    """
+    if steps == 1:
+        return spec
+    merged = convolution_power(spec.coefficient_array(), steps)
+    return from_array(
+        merged,
+        name=f"{spec.name}-itm{steps}",
+        tol=tol,
+    )
+
+
+def fusable(spec: StencilSpec, steps: int, *, width: int,
+            max_radius: int | None = None) -> bool:
+    """Whether ``steps``-deep fusion stays within the LBV butterfly's
+    x-radius bound (``s·r_x <= W`` by default).
+
+    This is the feasibility check behind §4.3's observation that deep ITM
+    stops paying off for 3-D boxes: the fused dependency set outgrows the
+    register file.
+    """
+    if steps < 1:
+        return False
+    limit = width if max_radius is None else max_radius
+    return spec.radius[-1] * steps <= limit
+
+
+def traffic_reduction(spec: StencilSpec, steps: int) -> float:
+    """Per-step load/store amortization factor of ``steps``-deep fusion
+    (the §3.3 "1/3 of loads for 3-step 1D3P" argument): fused sweeps touch
+    the grid once per ``steps`` steps."""
+    if steps < 1:
+        raise PlanError(f"fusion depth must be >= 1, got {steps}")
+    return 1.0 / steps
+
+
+def arithmetic_growth(spec: StencilSpec, steps: int) -> float:
+    """Ratio of fused-stencil points to ``steps`` applications of the base
+    stencil — the compute-side cost ITM pays for its traffic savings."""
+    fused = merged_spec(spec, steps)
+    return fused.npoints / (spec.npoints * steps)

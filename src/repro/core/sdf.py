@@ -1,0 +1,220 @@
+"""SVD-based Dimension Flattening (SDF) — §3.2.
+
+The stencil's coefficients are matricized as ``M[outer, dx]`` where
+``outer`` ranges over the non-unit-stride offsets (the paper's vertical
+axis; for 3-D kernels the ``(z, y)`` pairs) and ``dx`` over the x-taps.
+For the 2-D case this *is* the paper's coefficient matrix ``W``.
+
+``numpy.linalg.svd`` decomposes ``M = U Σ Vᵀ``; each retained singular
+triple yields a :class:`Rank1Term` ``(u_i, v_i)`` with σ folded into
+``u_i`` (Equations 1-2).  A term is computed as:
+
+1. **Flattening** (Algorithm 2 ``Flattening``): the conflict-free vertical
+   accumulation ``G(o) = Σ_outer u[outer] · a[p + outer, x + o]`` over
+   *aligned* vectors — same column ⇒ same register position ⇒ zero
+   shuffles.  This turns the N-D stencil into a 1-D stencil.
+2. **LBV** on ``G`` with taps ``v`` (§3.1).
+
+Because the paper's kernels have symmetric coefficients, ``M`` is low rank
+(box-2D9P: rank 2 = the all-ones ring + centre point of Figure 4;
+box-3D27P: rank 1 — fully separable; star kernels: rank 2), which is what
+§3.2 "Coefficient Symmetry" exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import PlanError
+from ..stencils.spec import StencilSpec, iter_row_offsets
+
+Outer = Tuple[int, ...]
+
+#: singular values below ``RANK_TOL * sigma_max`` are treated as zero.
+RANK_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class Rank1Term:
+    """One rank-1 component ``u ⊗ v`` of the flattening decomposition.
+
+    ``u`` maps outer offsets to vertical weights (σ folded in); ``v`` maps
+    x-offsets to the 1-D taps LBV consumes.  Entries with negligible weight
+    are dropped.
+    """
+
+    u: Dict[Outer, float]
+    v: Dict[int, float]
+    sigma: float
+
+    @property
+    def rows(self) -> int:
+        return len(self.u)
+
+    @property
+    def taps(self) -> int:
+        return len(self.v)
+
+    def dense(self, outers: Sequence[Outer], dxs: Sequence[int]) -> np.ndarray:
+        m = np.zeros((len(outers), len(dxs)))
+        for i, o in enumerate(outers):
+            for j, d in enumerate(dxs):
+                m[i, j] = self.u.get(o, 0.0) * self.v.get(d, 0.0)
+        return m
+
+
+def matricize(spec: StencilSpec) -> Tuple[List[Outer], List[int], np.ndarray]:
+    """``(outers, dxs, M)`` with ``M[i, j]`` the coefficient of offset
+    ``outers[i] + (dxs[j],)`` (zero where the stencil has no point)."""
+    rows = list(iter_row_offsets(spec))
+    outers = [outer for outer, _ in rows]
+    dxs = sorted({dx for _, taps in rows for dx in taps})
+    m = np.zeros((len(outers), len(dxs)))
+    col = {d: j for j, d in enumerate(dxs)}
+    for i, (_, taps) in enumerate(rows):
+        for dx, c in taps.items():
+            m[i, col[dx]] = c
+    return outers, dxs, m
+
+
+def flatten_terms(
+    spec: StencilSpec,
+    *,
+    tol: float = RANK_TOL,
+    max_terms: int | None = None,
+) -> List[Rank1Term]:
+    """The SDF decomposition of ``spec`` (Equations 1-2).
+
+    Raises :class:`~repro.errors.PlanError` if truncation to ``max_terms``
+    would change the stencil (SDF is exact; it is a reorganization, not an
+    approximation).
+    """
+    outers, dxs, m = matricize(spec)
+    u_mat, sigmas, vt = np.linalg.svd(m, full_matrices=False)
+    if sigmas.size == 0 or sigmas[0] == 0.0:
+        raise PlanError(f"{spec.name}: coefficient matrix is zero")
+    rank = int(np.sum(sigmas > tol * sigmas[0]))
+    if max_terms is not None and rank > max_terms:
+        raise PlanError(
+            f"{spec.name}: rank {rank} exceeds max_terms={max_terms}; "
+            f"SDF must keep every non-negligible singular value"
+        )
+    terms: List[Rank1Term] = []
+    for i in range(rank):
+        u_vec = u_mat[:, i] * sigmas[i]
+        v_vec = vt[i, :]
+        # Drop numerically-zero entries so star kernels produce sparse rows.
+        entry_tol = tol * max(np.max(np.abs(u_vec)), np.max(np.abs(v_vec)))
+        u = {o: float(c) for o, c in zip(outers, u_vec) if abs(c) > entry_tol}
+        v = {d: float(c) for d, c in zip(dxs, v_vec) if abs(c) > entry_tol}
+        if not u or not v:
+            continue
+        terms.append(Rank1Term(u=u, v=v, sigma=float(sigmas[i])))
+    if not terms:
+        raise PlanError(f"{spec.name}: SVD produced no usable terms")
+    return terms
+
+
+def rows_as_terms(spec: StencilSpec) -> List[Rank1Term]:
+    """The *unflattened* decomposition: one term per stencil row
+    (``u = e_row``).  This is what "LBV without SDF" means in the paper's
+    Figure-7 ablation — every row runs its own butterfly, paying the
+    vector-dimension conflicts SDF would remove."""
+    terms = []
+    for outer, taps in iter_row_offsets(spec):
+        terms.append(Rank1Term(u={outer: 1.0}, v=dict(taps), sigma=1.0))
+    return terms
+
+
+def structured_terms(spec: StencilSpec, *, tol: float = RANK_TOL) -> List[Rank1Term]:
+    """The shuffle-minimal exact decomposition Jigsaw lowers (the paper's
+    Figure-4 form generalized):
+
+    ``M = Σ_i u_i ⊗ v_i  +  d ⊗ e_0``
+
+    The whole ``dx = 0`` column is *residualized* into ``d ⊗ e_0`` — its
+    contribution is alignment-free, so the generator adds it after the
+    final interleave with plain FMAs, paying **zero** shuffles for it.
+    The remaining shifted columns are SVD-decomposed on their own, so only
+    genuinely shifted work enters LBV butterflies.
+
+    This reproduces the paper's examples exactly: box-2D9P = rank-1 ring ⊗
+    (±1 taps) + centre column (Figure 4); star kernels = centre-row taps +
+    axis column; separable boxes stay a single term family.  1-D kernels
+    (a single row) keep their taps in one butterfly — splitting the centre
+    saves nothing there.
+    """
+    outers, dxs, m = matricize(spec)
+    if spec.ndim == 1 or 0 not in dxs:
+        return flatten_terms(spec, tol=tol)
+    zero_col = dxs.index(0)
+    shifted = np.delete(m, zero_col, axis=1)
+    shifted_dxs = [d for d in dxs if d != 0]
+    terms: List[Rank1Term] = []
+    if shifted.size and np.any(np.abs(shifted) > tol):
+        u_mat, sigmas, vt = np.linalg.svd(shifted, full_matrices=False)
+        rank = int(np.sum(sigmas > tol * sigmas[0]))
+        for i in range(rank):
+            u_vec = u_mat[:, i] * sigmas[i]
+            v_vec = vt[i, :]
+            entry_tol = tol * max(np.max(np.abs(u_vec)),
+                                  np.max(np.abs(v_vec)), 1.0)
+            u = {o: float(c) for o, c in zip(outers, u_vec)
+                 if abs(c) > entry_tol}
+            v = {d: float(c) for d, c in zip(shifted_dxs, v_vec)
+                 if abs(c) > entry_tol}
+            if u and v:
+                terms.append(Rank1Term(u=u, v=v, sigma=float(sigmas[i])))
+    d_map = {o: float(c) for o, c in zip(outers, m[:, zero_col])
+             if abs(c) > tol}
+    if d_map:
+        terms.append(Rank1Term(u=d_map, v={0: 1.0}, sigma=1.0))
+    if not terms:
+        raise PlanError(f"{spec.name}: structured decomposition produced no terms")
+    err = reconstruction_error(spec, terms)
+    if err > 1e-9 * max(1.0, float(np.max(np.abs(m)))):
+        # numerical trouble (e.g. wildly scaled coefficients) — be safe.
+        return flatten_terms(spec, tol=tol)
+    return terms
+
+
+def reconstruct(terms: Sequence[Rank1Term], spec: StencilSpec) -> np.ndarray:
+    """Re-assemble the matricization from rank-1 terms (for validation:
+    must equal :func:`matricize`'s M within fp tolerance)."""
+    outers, dxs, _ = matricize(spec)
+    total = np.zeros((len(outers), len(dxs)))
+    for t in terms:
+        total += t.dense(outers, dxs)
+    return total
+
+
+def reconstruction_error(spec: StencilSpec,
+                         terms: Sequence[Rank1Term] | None = None) -> float:
+    """Max-abs error between the stencil and its SDF decomposition."""
+    terms = flatten_terms(spec) if terms is None else terms
+    _, _, m = matricize(spec)
+    return float(np.max(np.abs(reconstruct(terms, spec) - m)))
+
+
+def effective_rank(spec: StencilSpec, *, tol: float = RANK_TOL) -> int:
+    """The number of rank-1 terms SDF needs for ``spec``."""
+    return len(flatten_terms(spec, tol=tol))
+
+
+def shuffle_reduction(spec: StencilSpec) -> float:
+    """Fraction of row-gathering shuffle work SDF removes vs per-row
+    reorganization: ``1 - rank/rows`` (the §3.2 2/3 for Box-2D9P, 8/9 for
+    Box-3D27P)."""
+    shifted_rows = sum(
+        1 for _outer, taps in iter_row_offsets(spec)
+        if any(dx != 0 for dx in taps)
+    )
+    if shifted_rows == 0:
+        return 0.0
+    shifted_terms = sum(
+        1 for t in structured_terms(spec) if any(dx != 0 for dx in t.v)
+    )
+    return max(0.0, 1.0 - shifted_terms / shifted_rows)

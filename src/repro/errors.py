@@ -1,0 +1,52 @@
+"""Exception hierarchy for the Jigsaw reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors (``TypeError`` etc. propagate unchanged).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SpecError(ReproError):
+    """A stencil specification is malformed or unsupported."""
+
+
+class GridError(ReproError):
+    """A grid allocation/shape/halo request is invalid."""
+
+
+class IsaError(ReproError):
+    """An instruction is malformed or its operands are incompatible."""
+
+
+class MachineError(ReproError):
+    """The SIMD machine was driven into an invalid state (bad register
+    index, out-of-bounds memory access, unbound loop variable, ...)."""
+
+
+class VectorizeError(ReproError):
+    """A vectorization scheme cannot be generated for the given stencil
+    and machine configuration."""
+
+
+class PlanError(ReproError):
+    """The Jigsaw planner could not build a valid plan (e.g. SVD rank
+    tolerance leaves no terms, or an ITM fusion depth is infeasible)."""
+
+
+class TilingError(ReproError):
+    """A tiling request does not partition the iteration space."""
+
+
+class ModelError(ReproError):
+    """A performance-model query is inconsistent (unknown machine, zero
+    bandwidth, negative sizes, ...)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment runner was configured with unknown ids/parameters."""

@@ -1,0 +1,9 @@
+"""Experiment runners — one module per table/figure of the paper's
+evaluation (§4).  Each module exposes ``data(...)`` returning structured
+results and ``run(...)`` returning the rendered rows/series the paper
+reports.  ``python -m repro.experiments <id>`` runs one from the shell.
+"""
+
+from .registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]

@@ -1,0 +1,40 @@
+"""``python -m repro.experiments [id ...] [--save DIR]`` — run
+experiment(s) from the shell.  Without ids, runs every table/figure in
+order; ``--save DIR`` additionally writes each artifact to
+``DIR/<id>.txt`` for archival/diffing."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from .registry import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    args = list(argv if argv is not None else sys.argv[1:])
+    save_dir = None
+    if "--save" in args:
+        i = args.index("--save")
+        try:
+            save_dir = args[i + 1]
+        except IndexError:
+            print("--save requires a directory", file=sys.stderr)
+            return 2
+        del args[i:i + 2]
+    names = args or list(EXPERIMENTS)
+    if save_dir:
+        os.makedirs(save_dir, exist_ok=True)
+    for name in names:
+        text = run_experiment(name)
+        print(f"==== {name} " + "=" * max(0, 66 - len(name)))
+        print(text)
+        print()
+        if save_dir:
+            with open(os.path.join(save_dir, f"{name}.txt"), "w") as fh:
+                fh.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+"""Figure 11 — multicore scalability of Jigsaw and T-Jigsaw.
+
+Three kernel groups — 1-D by order (Heat-1D, 1D5P, 1D7P), 2-D by shape
+(Heat-2D, Star-2D9P, Box-2D9P), 3-D (Heat-3D, Box-3D27P) — from one core
+to every core, both machines, alternate-socket placement on Intel (§4.5).
+
+Expected shapes: near-linear 1-D/2-D scaling, 3-D roll-off as shared
+bandwidth saturates, and T-Jigsaw losing its edge over Jigsaw in 3-D
+(extra loads per vector).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis.report import render_series
+from ..config import PAPER_MACHINES, MachineConfig
+from ..parallel.simulator import MulticoreModel, ParallelSetup
+from ..schemes import model_cost
+from ..stencils import library
+from ..stencils.library import table3_config
+
+GROUPS: Dict[str, Tuple[str, ...]] = {
+    "1D": ("heat-1d", "star-1d5p", "star-1d7p"),
+    "2D": ("heat-2d", "star-2d9p", "box-2d9p"),
+    "3D": ("heat-3d", "box-3d27p"),
+}
+SCHEMES = ("jigsaw", "t-jigsaw")
+
+
+def core_counts(machine: MachineConfig) -> List[int]:
+    counts = [1]
+    c = 2
+    while c < machine.total_cores:
+        counts.append(c)
+        c *= 2
+    counts.append(machine.total_cores)
+    return counts
+
+
+def data(
+    machines: Sequence[MachineConfig] = PAPER_MACHINES,
+    groups: Dict[str, Tuple[str, ...]] = GROUPS,
+) -> Dict[str, dict]:
+    out: Dict[str, dict] = {}
+    for m in machines:
+        model = MulticoreModel(m)
+        cores = core_counts(m)
+        per_group: Dict[str, dict] = {}
+        for gname, kernels in groups.items():
+            series: Dict[str, List[float]] = {}
+            for kernel in kernels:
+                spec = library.get(kernel)
+                cfg = table3_config(kernel)
+                setup = ParallelSetup(tile_shape=cfg.tile_shape,
+                                      time_depth=cfg.time_depth)
+                for scheme in SCHEMES:
+                    cost = model_cost(scheme, spec, m)
+                    curve = model.scaling_curve(
+                        cost, spec, points=cfg.grid_points(),
+                        steps=cfg.time_steps, core_counts=cores, setup=setup,
+                    )
+                    series[f"{kernel}/{scheme}"] = [r.gstencil_s
+                                                    for r in curve]
+            per_group[gname] = {"cores": cores, "series": series}
+        out[m.name] = per_group
+    return out
+
+
+def run(machines: Sequence[MachineConfig] = PAPER_MACHINES) -> str:
+    blocks = []
+    for mname, per_group in data(machines).items():
+        for gname, d in per_group.items():
+            blocks.append(render_series(
+                "cores", d["cores"], d["series"],
+                title=f"Figure 11 [{mname}] {gname} kernels: GStencil/s vs cores",
+            ))
+    return "\n\n".join(blocks)

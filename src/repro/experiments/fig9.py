@@ -1,0 +1,79 @@
+"""Figure 9 — sequential, tiling-free absolute performance vs problem
+size.
+
+Four representative kernels, one thread, no blocking, sizes swept from
+L1-resident to memory-resident; methods Auto (Multiple Loads), Reorg
+(Multiple Permutations), Jigsaw (LBV+SDF), and T-Jigsaw (+ITM).  Expected
+shapes (§4.3):
+
+* stair-step decline as the working set falls out of L1 → L2 → L3 → DRAM;
+* T-Jigsaw on top for 1-D/2-D kernels, Jigsaw ahead of both baselines;
+* for Box-3D27P, T-Jigsaw drops *below* Jigsaw (ITM's extra loads);
+* convergence of all methods at memory-resident sizes (bandwidth wall).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis.report import render_series
+from ..config import PAPER_MACHINES, MachineConfig
+from ..machine.perfmodel import PerformanceModel
+from ..schemes import model_cost
+from ..stencils import library
+
+METHODS: Tuple[str, ...] = ("auto", "reorg", "jigsaw", "t-jigsaw")
+
+#: kernel -> list of interior shapes, small (L1) to huge (DRAM)
+SIZES: Dict[str, List[Tuple[int, ...]]] = {
+    "heat-1d": [(1 << k,) for k in (10, 12, 14, 16, 18, 20, 22, 24)],
+    "heat-2d": [(n, n) for n in (32, 64, 128, 256, 512, 1024, 2048, 4096)],
+    "box-2d9p": [(n, n) for n in (32, 64, 128, 256, 512, 1024, 2048, 4096)],
+    "box-3d27p": [(n, n, n) for n in (8, 16, 32, 64, 128, 256)],
+}
+STEPS = 100
+
+
+def data(
+    machines: Sequence[MachineConfig] = PAPER_MACHINES,
+    kernels: Sequence[str] = tuple(SIZES),
+) -> Dict[str, Dict[str, dict]]:
+    out: Dict[str, Dict[str, dict]] = {}
+    for m in machines:
+        model = PerformanceModel(m)
+        per_kernel: Dict[str, dict] = {}
+        for kernel in kernels:
+            spec = library.get(kernel)
+            costs = {meth: model_cost(meth, spec, m) for meth in METHODS}
+            series: Dict[str, List[float]] = {meth: [] for meth in METHODS}
+            levels: List[str] = []
+            for shape in SIZES[kernel]:
+                points = 1
+                for s in shape:
+                    points *= s
+                for meth in METHODS:
+                    res = model.estimate(costs[meth], points=points,
+                                         steps=STEPS, cores=1)
+                    series[meth].append(res.gstencil_s)
+                levels.append(res.level)
+            per_kernel[kernel] = {
+                "sizes": SIZES[kernel],
+                "series": series,
+                "levels": levels,
+            }
+        out[m.name] = per_kernel
+    return out
+
+
+def run(machines: Sequence[MachineConfig] = PAPER_MACHINES) -> str:
+    blocks = []
+    for mname, per_kernel in data(machines).items():
+        for kernel, d in per_kernel.items():
+            xs = ["x".join(map(str, s)) + f" [{lvl}]"
+                  for s, lvl in zip(d["sizes"], d["levels"])]
+            blocks.append(render_series(
+                "size [level]", xs, d["series"],
+                title=f"Figure 9 [{mname}] {kernel}: GStencil/s, "
+                      f"single thread, no tiling",
+            ))
+    return "\n\n".join(blocks)

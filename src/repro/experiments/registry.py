@@ -1,0 +1,33 @@
+"""Experiment id → runner registry (the DESIGN.md per-experiment index)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import ExperimentError
+from . import disc, fig7, fig8, fig9, fig10, fig11, table1, table2, table3
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "disc": disc.run,
+}
+
+
+def get_experiment(name: str) -> Callable[[], str]:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(name: str) -> str:
+    return get_experiment(name)()

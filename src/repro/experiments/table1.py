@@ -1,0 +1,55 @@
+"""Table 1 — latency/throughput of cross-lane vs in-lane shuffles.
+
+Prints the cost-table entries the model uses for the four instructions the
+paper measures, per machine.  The asymmetry (cross-lane 3 cycles / 1 CPI
+vs in-lane 1 cycle / 0.5-1 CPI) is the architectural fact LBV exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.report import render_table
+from ..config import PAPER_MACHINES, MachineConfig
+from ..machine.costs import cost_table_for
+from ..machine.isa import Op, classify
+
+INSTRUCTIONS = (Op.PERMPD, Op.PERM2F128, Op.SHUFPD, Op.PERMILPD)
+
+#: the paper's published (latency, CPI) for Alder/Ice Lake
+PAPER_TABLE1: Dict[str, tuple] = {
+    "vpermpd": (3, 1.0),
+    "vperm2f128": (3, 1.0),
+    "vshufpd": (1, 0.5),
+    "vpermilpd": (1, 1.0),
+}
+
+
+def data(machines=PAPER_MACHINES) -> List[dict]:
+    rows = []
+    for m in machines:
+        table = cost_table_for(m)
+        for op in INSTRUCTIONS:
+            rows.append({
+                "machine": m.name,
+                "instruction": op.value,
+                "class": classify(op).value,
+                "latency": table.latency(op),
+                "cpi": table.cpi(op),
+                "paper_latency": PAPER_TABLE1[op.value][0],
+                "paper_cpi": PAPER_TABLE1[op.value][1],
+            })
+    return rows
+
+
+def run(machines=PAPER_MACHINES) -> str:
+    rows = [
+        [d["machine"], d["instruction"], d["class"], d["latency"], d["cpi"],
+         d["paper_latency"], d["paper_cpi"]]
+        for d in data(machines)
+    ]
+    return render_table(
+        ["machine", "instruction", "class", "latency", "CPI",
+         "paper lat", "paper CPI"],
+        rows,
+    )

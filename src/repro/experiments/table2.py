@@ -1,0 +1,58 @@
+"""Table 2 — analytical vector instructions per vector.
+
+For each kernel and method, prints the paper's published (L, S, C, I)
+against the counts measured from the instruction streams this repository
+generates.  Deviations are expected and documented (EXPERIMENTS.md): the
+paper bills some shared shuffles per neighbour while our generators share
+them, and its in-lane column excludes the butterfly deinterleaves our
+accounting includes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.instruction_count import (
+    PAPER_TABLE2,
+    TABLE2_KERNELS,
+    TABLE2_METHODS,
+    analytic_table2_row,
+    measured_table2_row,
+)
+from ..analysis.report import render_table
+from ..config import AMD_EPYC_7V13, MachineConfig
+from ..stencils import library
+
+
+def data(machine: MachineConfig = AMD_EPYC_7V13) -> List[dict]:
+    rows = []
+    for kernel in TABLE2_KERNELS:
+        spec = library.get(kernel)
+        for method in TABLE2_METHODS:
+            paper = PAPER_TABLE2[kernel][method]
+            measured = measured_table2_row(method, spec, machine)
+            analytic = analytic_table2_row(method, spec)
+            rows.append({
+                "kernel": kernel,
+                "method": method,
+                "paper": paper,
+                "analytic": analytic,
+                "measured": measured,
+            })
+    return rows
+
+
+def run(machine: MachineConfig = AMD_EPYC_7V13) -> str:
+    table_rows = []
+    for d in data(machine):
+        cells = [d["kernel"], d["method"]]
+        for i in range(4):
+            cells.append(
+                f"{d['paper'][i]:g} / {d['measured'][i]:.3g}"
+            )
+        table_rows.append(cells)
+    return render_table(
+        ["kernel", "method", "L (paper/ours)", "S (paper/ours)",
+         "C (paper/ours)", "I (paper/ours)"],
+        table_rows,
+    )

@@ -1,0 +1,195 @@
+"""Trace-driven set-associative cache simulation.
+
+The analytic memory model (:mod:`repro.machine.memory`) *assumes* two
+things: redundant vector loads replay from L1, and the level feeding the
+registers sees each grid byte once per sweep (compulsory traffic).  This
+module lets the repository *measure* both instead of assuming them: the
+SIMD machine records every memory access it executes
+(:class:`MemoryTraceRecorder`), and :class:`CacheHierarchySim` replays the
+trace through LRU set-associative caches sized like the target machine.
+
+``simulate_program_cache`` ties it together: one sweep of any generated
+scheme yields per-level hit counts, miss traffic, and the set of unique
+lines touched — the numbers behind EXPERIMENTS.md's model-validation
+bench (Auto's k-fold loads hit L1 at >95%; every scheme's DRAM line
+traffic equals the compulsory footprint).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import MachineConfig
+from ..errors import ModelError
+
+LINE_BYTES = 64
+
+#: (array_name, byte_offset, byte_length, is_store)
+MemAccess = Tuple[str, int, int, bool]
+
+
+class CacheLevelSim:
+    """One set-associative LRU cache level."""
+
+    def __init__(self, size_bytes: int, *, ways: int = 8,
+                 line_bytes: int = LINE_BYTES, name: str = "L?") -> None:
+        if size_bytes <= 0 or ways <= 0 or line_bytes <= 0:
+            raise ModelError("cache geometry must be positive")
+        lines = size_bytes // line_bytes
+        if lines < ways:
+            ways = max(1, lines)
+        self.name = name
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.sets = max(1, lines // ways)
+        # per-set ordered dict of resident line tags (LRU order)
+        self._sets: List[OrderedDict] = [OrderedDict()
+                                         for _ in range(self.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line_addr: int) -> bool:
+        """Touch one line; returns True on hit.  Misses install the line
+        (evicting LRU)."""
+        s = self._sets[line_addr % self.sets]
+        if line_addr in s:
+            s.move_to_end(line_addr)
+            self.hits += 1
+            return True
+        self.misses += 1
+        s[line_addr] = True
+        if len(s) > self.ways:
+            s.popitem(last=False)
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class CacheStats:
+    """Per-level results of one trace replay."""
+
+    levels: Tuple[Tuple[str, int, int], ...]  #: (name, hits, misses)
+    dram_lines: int                           #: line fetches from memory
+    unique_lines: int                         #: compulsory footprint
+    accesses: int
+
+    def hit_rate(self, name: str) -> float:
+        for lname, hits, misses in self.levels:
+            if lname == name:
+                total = hits + misses
+                return hits / total if total else 0.0
+        raise ModelError(f"no cache level named {name!r}")
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram_lines * LINE_BYTES
+
+    def summary(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"accesses": self.accesses}
+        for name, hits, misses in self.levels:
+            total = hits + misses
+            out[f"{name} hit rate"] = hits / total if total else 0.0
+        out["DRAM lines"] = self.dram_lines
+        out["compulsory lines"] = self.unique_lines
+        return out
+
+
+class CacheHierarchySim:
+    """An inclusive multi-level hierarchy: misses walk down and install
+    the line at every level on the way back up."""
+
+    def __init__(self, levels: Sequence[CacheLevelSim]) -> None:
+        if not levels:
+            raise ModelError("hierarchy needs at least one level")
+        self.levels = list(levels)
+        self.dram_lines = 0
+        self._touched: set = set()
+        self.accesses = 0
+
+    @classmethod
+    def for_machine(cls, machine: MachineConfig, *,
+                    levels: int | None = None) -> "CacheHierarchySim":
+        sims = [
+            CacheLevelSim(lvl.size_bytes, name=lvl.name)
+            for lvl in machine.caches[:levels]
+        ]
+        return cls(sims)
+
+    def access(self, array: str, offset: int, nbytes: int,
+               is_store: bool) -> None:
+        """One vector access: touch every line it covers."""
+        first = offset // LINE_BYTES
+        last = (offset + max(1, nbytes) - 1) // LINE_BYTES
+        for line in range(first, last + 1):
+            key = (array, line)
+            self.accesses += 1
+            self._touched.add(key)
+            addr = hash(key) & 0x7FFFFFFFFFFF
+            for lvl in self.levels:
+                if lvl.access(addr):
+                    break
+            else:
+                self.dram_lines += 1
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            levels=tuple((l.name, l.hits, l.misses) for l in self.levels),
+            dram_lines=self.dram_lines,
+            unique_lines=len(self._touched),
+            accesses=self.accesses,
+        )
+
+
+class MemoryTraceRecorder:
+    """Collects the SIMD machine's memory accesses (bounded)."""
+
+    def __init__(self, limit: int = 2_000_000) -> None:
+        self.limit = limit
+        self.accesses: List[MemAccess] = []
+
+    def __call__(self, array: str, offset: int, nbytes: int,
+                 is_store: bool) -> None:
+        if len(self.accesses) >= self.limit:
+            raise ModelError(
+                f"memory trace exceeded {self.limit} accesses; "
+                f"use a smaller grid for cache simulation"
+            )
+        self.accesses.append((array, offset, nbytes, is_store))
+
+    def replay(self, hierarchy: CacheHierarchySim) -> CacheStats:
+        for acc in self.accesses:
+            hierarchy.access(*acc)
+        return hierarchy.stats()
+
+
+def simulate_program_cache(
+    program,
+    grid,
+    machine: MachineConfig,
+    *,
+    steps: Optional[int] = None,
+    boundary: str = "periodic",
+) -> CacheStats:
+    """Execute ``program`` for one (fused) sweep while recording its memory
+    trace, then replay the trace through caches sized like ``machine``.
+
+    Returns the per-level statistics.  Grids should be small (the trace is
+    kept in memory)."""
+    from ..vectorize.driver import run_program
+
+    recorder = MemoryTraceRecorder()
+    run_program(program, grid, steps if steps is not None
+                else program.steps_per_iter,
+                boundary=boundary, mem_hook=recorder)
+    hierarchy = CacheHierarchySim.for_machine(machine)
+    return recorder.replay(hierarchy)

@@ -1,0 +1,141 @@
+"""The SIMD machine interpreter.
+
+Executes a :class:`~repro.vectorize.program.VectorProgram` against named
+numpy arrays, with strict bounds checking (numpy slices silently truncate;
+real vector loads fault).  This is the semantic referee: every scheme's
+program must reproduce :func:`repro.stencils.reference.apply_numpy` exactly
+(up to floating-point reassociation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..errors import MachineError
+from .isa import Instr, Op, execute_alu
+from .trace import TraceCounter
+
+
+class SimdMachine:
+    """Interpreter for vector programs.
+
+    ``width`` is the number of float64 elements per register (4 for AVX2).
+    The register file is reset at each innermost-loop entry and persists
+    across iterations within it — that is what makes loop-carried register
+    reuse (Algorithm 1's ``v0``/``vp0``) observable and testable.
+    """
+
+    def __init__(self, width: int, *, elem_bytes: int = 8,
+                 mem_hook=None) -> None:
+        if width < 2 or width % 2:
+            raise MachineError(f"width must be an even element count, got {width}")
+        if elem_bytes not in (4, 8):
+            raise MachineError(f"elem_bytes must be 4 (f32) or 8 (f64)")
+        self.width = width
+        self.elem_bytes = elem_bytes
+        #: elements per 128-bit lane (2 for f64, 4 for f32)
+        self.epl = 16 // elem_bytes
+        self.dtype = np.float32 if elem_bytes == 4 else np.float64
+        if width % self.epl:
+            raise MachineError(
+                f"width {width} is not a whole number of {self.epl}-element lanes"
+            )
+        self.regs: Dict[str, np.ndarray] = {}
+        #: optional callable(array, byte_offset, nbytes, is_store) invoked
+        #: per memory access — feeds the trace-driven cache simulator
+        self.mem_hook = mem_hook
+
+    # -- memory helpers ---------------------------------------------------------
+    def _locate(self, arrays: Mapping[str, np.ndarray], instr: Instr,
+                env: Mapping[str, int]) -> tuple:
+        mem = instr.mem
+        if mem.array not in arrays:
+            raise MachineError(f"unknown array {mem.array!r} in {instr}")
+        arr = arrays[mem.array]
+        idx = mem.evaluate(env)
+        if len(idx) != arr.ndim:
+            raise MachineError(
+                f"{instr}: address has {len(idx)} axes, array has {arr.ndim}"
+            )
+        for axis, (i, n) in enumerate(zip(idx[:-1], arr.shape[:-1])):
+            if not 0 <= i < n:
+                raise MachineError(
+                    f"{instr}: axis {axis} index {i} out of bounds [0, {n}) "
+                    f"with env {dict(env)}"
+                )
+        x = idx[-1]
+        if not (0 <= x and x + self.width <= arr.shape[-1]):
+            raise MachineError(
+                f"{instr}: x range [{x}, {x + self.width}) out of bounds "
+                f"[0, {arr.shape[-1]}) with env {dict(env)}"
+            )
+        return arr, idx
+
+    def _exec(self, instr: Instr, arrays: Mapping[str, np.ndarray],
+              env: Mapping[str, int], counter: Optional[TraceCounter]) -> None:
+        if counter is not None:
+            counter.add(instr)
+        if instr.op is Op.LOAD:
+            arr, idx = self._locate(arrays, instr, env)
+            x = idx[-1]
+            sl = idx[:-1] + (slice(x, x + self.width),)
+            self.regs[instr.dst] = np.array(arr[sl], dtype=self.dtype)
+            if self.mem_hook is not None:
+                self._record(instr, arr, idx, is_store=False)
+        elif instr.op is Op.STORE:
+            arr, idx = self._locate(arrays, instr, env)
+            src = self.regs.get(instr.srcs[0])
+            if src is None:
+                raise MachineError(f"{instr}: store of undefined register")
+            x = idx[-1]
+            sl = idx[:-1] + (slice(x, x + self.width),)
+            arr[sl] = src
+            if self.mem_hook is not None:
+                self._record(instr, arr, idx, is_store=True)
+        else:
+            execute_alu(instr, self.regs, self.width, epl=self.epl,
+                        dtype=self.dtype)
+
+    def _record(self, instr: Instr, arr: np.ndarray, idx: tuple,
+                is_store: bool) -> None:
+        offset = sum(int(i) * int(s) for i, s in zip(idx, arr.strides))
+        self.mem_hook(instr.mem.array, offset,
+                      self.width * arr.itemsize, is_store)
+
+    # -- program execution --------------------------------------------------------
+    def run(
+        self,
+        program,
+        arrays: Mapping[str, np.ndarray],
+        *,
+        counter: Optional[TraceCounter] = None,
+    ) -> Optional[TraceCounter]:
+        """Execute ``program`` over its full loop nest.
+
+        ``arrays`` maps array names to the padded (halo-inclusive) numpy
+        buffers the program addresses.  Returns the counter if provided.
+        """
+        if program.width != self.width:
+            raise MachineError(
+                f"program width {program.width} != machine width {self.width}"
+            )
+        x_loop = program.loops[-1]
+        for env in program.iter_outer():
+            self.regs = {}
+            env = dict(env)
+            if program.prologue:
+                # Prologue addresses may reference the x variable at its
+                # initial value (Algorithm 1 lines 3-4).
+                env[x_loop.var] = x_loop.start
+                for instr in program.prologue:
+                    self._exec(instr, arrays, env, counter)
+            for x in x_loop.indices():
+                env[x_loop.var] = x
+                for instr in program.body:
+                    self._exec(instr, arrays, env, counter)
+        if counter is not None:
+            counter.vectors += program.vectors_per_iter * program.total_body_runs()
+            counter.steps = program.steps_per_iter
+        return counter

@@ -1,0 +1,117 @@
+"""Cache-hierarchy / bandwidth time model.
+
+The data term of a stencil sweep is modelled by (a) finding the cache level
+whose capacity holds the sweep's working set — that level feeds the
+registers — and (b) dividing the bytes the instruction stream actually
+moves by that level's (core-aggregated) bandwidth.
+
+This produces the paper's Figure-9 stair curves: as the problem grows past
+L1, L2 and L3 capacity, the feeding level drops to a slower tier and
+GStencil/s steps down.  Because redundant loads (Multiple Loads) multiply
+the bytes moved, the model also reproduces why conflict-heavy schemes lose
+even when resident in cache.
+
+DRAM stores pay a write-allocate factor (a store miss first reads the
+line), the standard behaviour of these machines for streaming stencil
+writes without non-temporal hints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import CacheLevel, MachineConfig
+from ..errors import ModelError
+
+#: stores to DRAM read the line before writing it (write-allocate)
+WRITE_ALLOCATE_FACTOR = 2.0
+
+#: fraction of a socket's DRAM bandwidth one core can draw
+PER_CORE_DRAM_SHARE = 0.18
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    time_s: float
+    level: str             #: cache level (or "DRAM") feeding the registers
+    bandwidth_gbs: float   #: aggregate bandwidth used
+    bytes_moved: float
+
+    @property
+    def gbs(self) -> float:
+        return self.bandwidth_gbs
+
+
+class CacheHierarchyModel:
+    """Working-set placement + bandwidth time for one machine."""
+
+    def __init__(self, machine: MachineConfig) -> None:
+        self.machine = machine
+
+    def feeding_level(self, working_set_bytes: float, cores: int = 1,
+                      *, per_core: bool = False) -> Optional[CacheLevel]:
+        """Smallest cache level that holds the working set; ``None`` = DRAM.
+
+        ``per_core=False`` (default): ``working_set_bytes`` is the whole
+        problem's footprint, divided among cores for private levels.
+        ``per_core=True``: it is one core's tile footprint (cache-blocked
+        runs); shared levels must then hold every core's tile at once.
+        """
+        if working_set_bytes <= 0:
+            raise ModelError("working set must be positive")
+        if cores < 1:
+            raise ModelError("cores must be >= 1")
+        for level in self.machine.caches:
+            if per_core:
+                budget = working_set_bytes * cores if level.shared \
+                    else working_set_bytes
+            else:
+                budget = working_set_bytes if level.shared \
+                    else working_set_bytes / cores
+            if budget <= level.size_bytes:
+                return level
+        return None
+
+    def bandwidth(self, level: Optional[CacheLevel], cores: int) -> float:
+        if level is not None:
+            return level.aggregate_bandwidth(cores)
+        bw = self.machine.total_dram_bandwidth(cores)
+        # A single core cannot saturate a socket's DRAM channels.
+        per_core_cap = self.machine.dram_bandwidth_gbs * PER_CORE_DRAM_SHARE
+        return min(bw, per_core_cap * cores)
+
+    def sweep_time(
+        self,
+        *,
+        bytes_loaded: float,
+        bytes_stored: float,
+        working_set_bytes: float,
+        cores: int = 1,
+        numa_remote_fraction: float = 0.0,
+        working_set_per_core: bool = False,
+    ) -> MemoryEstimate:
+        """Time for moving a sweep's traffic out of/into the feeding level.
+
+        ``numa_remote_fraction`` is the share of traffic served by a remote
+        socket (Intel dual-socket runs, §4.5); it is slowed by the
+        machine's :attr:`~repro.config.MachineConfig.numa_remote_penalty`.
+        """
+        if bytes_loaded < 0 or bytes_stored < 0:
+            raise ModelError("traffic must be non-negative")
+        level = self.feeding_level(working_set_bytes, cores,
+                                   per_core=working_set_per_core)
+        store_factor = 1.0 if level is not None else WRITE_ALLOCATE_FACTOR
+        moved = bytes_loaded + store_factor * bytes_stored
+        bw = self.bandwidth(level, cores)
+        if bw <= 0:
+            raise ModelError("model bandwidth must be positive")
+        time_s = moved / (bw * 1e9)
+        if numa_remote_fraction > 0.0 and level is None:
+            time_s *= 1.0 + numa_remote_fraction * self.machine.numa_remote_penalty
+        return MemoryEstimate(
+            time_s=time_s,
+            level=level.name if level is not None else "DRAM",
+            bandwidth_gbs=bw,
+            bytes_moved=moved,
+        )

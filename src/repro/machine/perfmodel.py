@@ -1,0 +1,152 @@
+"""End-to-end GStencil/s estimation.
+
+``GStencil/s = T * prod(N_i) / (t * 1e9)`` (paper Eq. 3) where ``t`` is the
+maximum of the compute-bound time (:mod:`repro.machine.pipeline`) and the
+memory-bound time (:mod:`repro.machine.memory`) — the roofline composition
+the stencil literature standardly assumes for these memory-bound kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import MachineConfig
+from ..errors import ModelError
+from .costs import CostTable, cost_table_for
+from .memory import CacheHierarchyModel, MemoryEstimate
+from .pipeline import PipelineEstimate, PipelineModel
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """The scheme-dependent per-iteration facts the model needs, decoupled
+    from a concrete grid (so the same cost works for any problem size)."""
+
+    scheme: str
+    width: int
+    vectors_per_iter: int
+    steps_per_iter: int
+    loads_per_iter: float
+    stores_per_iter: float
+    cycles_per_iter: float
+    registers_used: int = 0
+
+    @classmethod
+    def from_program(cls, program, machine: MachineConfig,
+                     table: Optional[CostTable] = None) -> "KernelCost":
+        est = PipelineModel(machine, table).estimate(program)
+        mix = program.body_mix()
+        return cls(
+            scheme=program.scheme,
+            width=program.width,
+            vectors_per_iter=program.vectors_per_iter,
+            steps_per_iter=program.steps_per_iter,
+            loads_per_iter=mix.loads,
+            stores_per_iter=mix.stores,
+            cycles_per_iter=est.cycles_per_iter,
+            registers_used=program.registers_used(),
+        )
+
+    @property
+    def elems_per_iter(self) -> int:
+        return self.width * self.vectors_per_iter
+
+
+@dataclass(frozen=True)
+class PerfResult:
+    gstencil_s: float
+    time_s: float
+    compute_time_s: float
+    memory_time_s: float
+    level: str
+    bottleneck: str  # "compute" | "memory"
+
+    def speedup_over(self, other: "PerfResult") -> float:
+        return self.gstencil_s / other.gstencil_s
+
+
+class PerformanceModel:
+    """Combines the pipeline and cache models for one machine."""
+
+    def __init__(self, machine: MachineConfig,
+                 table: Optional[CostTable] = None) -> None:
+        self.machine = machine
+        self.table = table or cost_table_for(machine)
+        self.pipeline = PipelineModel(machine, self.table)
+        self.memory = CacheHierarchyModel(machine)
+
+    # -- helpers -----------------------------------------------------------------
+    def pipeline_estimate(self, program) -> PipelineEstimate:
+        return self.pipeline.estimate(program)
+
+    def kernel_cost(self, program) -> KernelCost:
+        return KernelCost.from_program(program, self.machine, self.table)
+
+    # -- main entry point ----------------------------------------------------------
+    def estimate(
+        self,
+        cost: KernelCost,
+        *,
+        points: int,
+        steps: int,
+        working_set_bytes: Optional[float] = None,
+        cores: int = 1,
+        numa_remote_fraction: float = 0.0,
+        sync_phases: int = 0,
+        efficiency: float = 1.0,
+        working_set_per_core: bool = False,
+    ) -> PerfResult:
+        """Estimate GStencil/s for ``steps`` sweeps over ``points`` grid
+        points.
+
+        ``working_set_bytes`` defaults to in+out grids (2 arrays); pass the
+        tile working set when modelling cache blocking.  ``sync_phases``
+        adds per-phase barrier overhead for parallel runs.  ``efficiency``
+        scales compute throughput (scheme-level derating, e.g. DSL
+        baselines)."""
+        if points <= 0 or steps <= 0:
+            raise ModelError("points and steps must be positive")
+        if cores < 1 or cores > self.machine.total_cores:
+            raise ModelError(
+                f"cores must be in [1, {self.machine.total_cores}], got {cores}"
+            )
+        if efficiency <= 0:
+            raise ModelError("efficiency must be positive")
+        elem = self.machine.element_bytes
+        if working_set_bytes is None:
+            working_set_bytes = 2.0 * points * elem
+
+        # compute term ---------------------------------------------------------
+        iters_per_sweep = points / cost.elems_per_iter
+        sweeps = steps / cost.steps_per_iter
+        cycles = cost.cycles_per_iter * iters_per_sweep * sweeps
+        freq_hz = self.machine.freq_ghz * 1e9
+        compute_time = cycles / freq_hz / cores / efficiency
+
+        # memory term: compulsory traffic.  Redundant vector loads replay
+        # from L1 (they are charged as load-port pressure in the compute
+        # term); the feeding level sees each grid byte once per fused
+        # sweep, plus the store stream.
+        bytes_loaded = float(points) * elem * sweeps
+        bytes_stored = float(points) * elem * sweeps
+        mem: MemoryEstimate = self.memory.sweep_time(
+            bytes_loaded=bytes_loaded,
+            bytes_stored=bytes_stored,
+            working_set_bytes=working_set_bytes,
+            cores=cores,
+            numa_remote_fraction=numa_remote_fraction,
+            working_set_per_core=working_set_per_core,
+        )
+
+        time_s = max(compute_time, mem.time_s)
+        time_s += sync_phases * self.machine.sync_overhead_us * 1e-6
+        updates = points * steps
+        return PerfResult(
+            gstencil_s=updates / time_s / 1e9,
+            time_s=time_s,
+            compute_time_s=compute_time,
+            memory_time_s=mem.time_s,
+            level=mem.level,
+            bottleneck="compute" if compute_time >= mem.time_s else "memory",
+        )

@@ -1,0 +1,154 @@
+"""Dependency-aware cycle estimation for one loop body.
+
+The steady-state cycles per innermost iteration are modelled as
+
+``cycles = max(port-pressure bounds, issue-width bound, critical-path / ILP)``
+
+* **Port pressure** — per execution-resource sum of reciprocal throughputs
+  (Table 1 CPIs): the shuffle resource serializes cross-lane permutes
+  (1 CPI) while dual-issuing ``vshufpd`` (0.5 CPI); FMA, load and store
+  resources likewise.  This is the classical throughput bound and is what
+  makes Multiple Loads load-port-bound and Multiple Permutations
+  shuffle-port-bound, exactly the contrast §2.1 draws.
+* **Stall penalty** — schemes that *phase* data reorganization before the
+  arithmetic (Multiple Permutations, Folding's transpose-in/compute/
+  transpose-out) leave shuffle→FMA latency exposed in the dependency
+  chain; the model charges them a fractional stall surcharge
+  (:data:`PHASED_STALL_PENALTY`).  LBV interleaves shuffles with
+  arithmetic (§3.1 step 2) and is exempt — the "pipeline bubble" effect
+  the paper attributes to prior work.
+
+The critical path through one body execution is still computed and
+reported (it feeds the Figure-8 analysis), but steady-state throughput of
+a Jacobi loop is resource-bound: iterations are independent, so latency
+only surfaces through the stall surcharge above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..config import MachineConfig
+from ..errors import ModelError
+from .costs import CostTable, cost_table_for
+from .isa import Instr, InstrClass, Op
+
+#: fractional cycle surcharge for schemes whose data preparation
+#: (shuffles or unaligned gather loads) is phased before the arithmetic —
+#: exposed data-preparation latency (§2.1/§3.1).
+PHASED_STALL_PENALTY = 0.30
+#: throughput multiplier for unaligned vector loads (split-line accesses,
+#: the §2.1 "unaligned data access degrades performance considerably")
+UNALIGNED_LOAD_FACTOR = 2.0
+ISSUE_WIDTH = 4.0  # uops issued per cycle
+#: per-iteration port cost of one spilled register (an L1 store + reload
+#: pair; the §3.1/§4.4 register-spilling effect for transpose-heavy and
+#: deeply fused kernels)
+SPILL_LOAD_CPI = 0.5
+SPILL_STORE_CPI = 0.5
+
+
+@dataclass(frozen=True)
+class PipelineEstimate:
+    cycles_per_iter: float
+    port_cycles: Dict[str, float]
+    critical_path: float
+    stall_penalty: float
+    spills: int
+    bound: str  # which term dominated
+
+    @property
+    def throughput_bound(self) -> float:
+        return max(self.port_cycles.values())
+
+
+def critical_path_cycles(body: Sequence[Instr], table: CostTable) -> float:
+    """Longest register-dependency chain through one body execution.
+
+    Loads start chains at their own latency; loop-carried inputs (registers
+    read before being written in this body) start at zero — steady-state,
+    they were produced in earlier iterations.
+    """
+    finish: Dict[str, float] = {}
+    longest = 0.0
+    for instr in body:
+        start = 0.0
+        for src in instr.srcs:
+            start = max(start, finish.get(src, 0.0))
+        end = start + table.latency(instr.op)
+        if instr.dst:
+            finish[instr.dst] = end
+        longest = max(longest, end)
+    return longest
+
+
+class PipelineModel:
+    """Estimates steady-state cycles per innermost iteration of a
+    :class:`~repro.vectorize.program.VectorProgram`."""
+
+    def __init__(self, machine: MachineConfig,
+                 table: CostTable | None = None) -> None:
+        self.machine = machine
+        self.table = table or cost_table_for(machine)
+
+    def port_pressure(self, body: Sequence[Instr]) -> Dict[str, float]:
+        """Cycles demanded from each execution resource by one body run."""
+        cycles = {"load": 0.0, "store": 0.0, "shuffle": 0.0, "fma": 0.0,
+                  "other": 0.0}
+        for instr in body:
+            cpi = self.table.cpi(instr.op)
+            klass = instr.klass
+            if klass is InstrClass.LOAD or instr.op is Op.BROADCAST:
+                if getattr(instr, "unaligned", False):
+                    cpi *= UNALIGNED_LOAD_FACTOR
+                cycles["load"] += cpi
+            elif klass is InstrClass.STORE:
+                cycles["store"] += cpi
+            elif klass in (InstrClass.IN_LANE, InstrClass.CROSS_LANE):
+                cycles["shuffle"] += cpi
+            elif klass is InstrClass.ARITH:
+                cycles["fma"] += cpi
+            else:
+                cycles["other"] += cpi
+        return cycles
+
+    def estimate(self, program) -> PipelineEstimate:
+        body = program.body
+        if not body:
+            raise ModelError(f"program {program.name!r} has an empty body")
+        ports = dict(self.port_pressure(body))
+        issue = len(body) / ISSUE_WIDTH
+        cp = critical_path_cycles(body, self.table)
+        spills = max(0, program.max_live_registers()
+                     - self.machine.vector_registers)
+        if spills:
+            ports["load"] += spills * SPILL_LOAD_CPI
+            ports["store"] += spills * SPILL_STORE_CPI
+            issue += spills * 2 / ISSUE_WIDTH
+        candidates = {
+            **{f"port:{k}": v for k, v in ports.items()},
+            "issue": issue,
+        }
+        bound = max(candidates, key=lambda k: candidates[k])
+        stall = 0.0
+        has_unaligned = any(
+            getattr(i, "unaligned", False) for i in body
+        )
+        if not program.overlapped and (ports["shuffle"] > 0 or has_unaligned):
+            stall = PHASED_STALL_PENALTY
+        return PipelineEstimate(
+            cycles_per_iter=candidates[bound] * (1.0 + stall),
+            port_cycles=ports,
+            critical_path=cp,
+            stall_penalty=stall,
+            spills=spills,
+            bound=bound,
+        )
+
+    def cycles_per_vector(self, program) -> float:
+        """Cycles per output vector per time step."""
+        est = self.estimate(program)
+        return est.cycles_per_iter / (
+            program.vectors_per_iter * program.steps_per_iter
+        )

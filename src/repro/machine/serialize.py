@@ -1,0 +1,160 @@
+"""JSON serialization of vector programs.
+
+Generated instruction streams are artifacts worth keeping: diffing a
+kernel's stream across library versions, feeding external analyzers
+(e.g. a real uop simulator), or archiving the exact code an experiment
+costed.  This module round-trips
+:class:`~repro.vectorize.program.VectorProgram` (with its loops, affine
+addresses, shuffle controls, and tail spec) through plain JSON-compatible
+dicts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from ..errors import IsaError
+from ..stencils.spec import StencilSpec
+from .isa import Affine, Instr, MemRef, Op
+
+
+def affine_to_dict(a: Affine) -> Dict[str, Any]:
+    return {"const": a.const, "terms": [[v, c] for v, c in a.terms]}
+
+
+def affine_from_dict(d: Dict[str, Any]) -> Affine:
+    return Affine(const=int(d["const"]),
+                  terms=tuple((str(v), int(c)) for v, c in d["terms"]))
+
+
+def memref_to_dict(m: MemRef) -> Dict[str, Any]:
+    return {"array": m.array, "index": [affine_to_dict(a) for a in m.index]}
+
+
+def memref_from_dict(d: Dict[str, Any]) -> MemRef:
+    return MemRef(array=str(d["array"]),
+                  index=tuple(affine_from_dict(a) for a in d["index"]))
+
+
+def _imm_to_json(imm: Any) -> Any:
+    if isinstance(imm, tuple):
+        return {"tuple": [None if v is None else int(v) for v in imm]}
+    return imm
+
+
+def _imm_from_json(imm: Any) -> Any:
+    if isinstance(imm, dict) and "tuple" in imm:
+        return tuple(None if v is None else int(v) for v in imm["tuple"])
+    return imm
+
+
+def instr_to_dict(instr: Instr) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"op": instr.op.value}
+    if instr.dst:
+        out["dst"] = instr.dst
+    if instr.srcs:
+        out["srcs"] = list(instr.srcs)
+    if instr.imm is not None:
+        out["imm"] = _imm_to_json(instr.imm)
+    if instr.mem is not None:
+        out["mem"] = memref_to_dict(instr.mem)
+    if instr.unaligned:
+        out["unaligned"] = True
+    if instr.comment:
+        out["comment"] = instr.comment
+    return out
+
+
+def instr_from_dict(d: Dict[str, Any]) -> Instr:
+    try:
+        op = Op(d["op"])
+    except ValueError:
+        raise IsaError(f"unknown opcode {d.get('op')!r}") from None
+    return Instr(
+        op=op,
+        dst=d.get("dst"),
+        srcs=tuple(d.get("srcs", ())),
+        imm=_imm_from_json(d.get("imm")),
+        mem=memref_from_dict(d["mem"]) if "mem" in d else None,
+        unaligned=bool(d.get("unaligned", False)),
+        comment=d.get("comment", ""),
+    )
+
+
+def _spec_to_dict(spec: Optional[StencilSpec]) -> Optional[Dict[str, Any]]:
+    if spec is None:
+        return None
+    return {
+        "name": spec.name,
+        "ndim": spec.ndim,
+        "offsets": [list(o) for o in spec.offsets],
+        "coeffs": list(spec.coeffs),
+    }
+
+
+def _spec_from_dict(d: Optional[Dict[str, Any]]) -> Optional[StencilSpec]:
+    if d is None:
+        return None
+    return StencilSpec(
+        name=str(d["name"]),
+        ndim=int(d["ndim"]),
+        offsets=tuple(tuple(int(x) for x in o) for o in d["offsets"]),
+        coeffs=tuple(float(c) for c in d["coeffs"]),
+    )
+
+
+def program_to_dict(program) -> Dict[str, Any]:
+    return {
+        "name": program.name,
+        "scheme": program.scheme,
+        "width": program.width,
+        "loops": [
+            {"var": l.var, "start": l.start, "stop": l.stop, "step": l.step}
+            for l in program.loops
+        ],
+        "prologue": [instr_to_dict(i) for i in program.prologue],
+        "body": [instr_to_dict(i) for i in program.body],
+        "vectors_per_iter": program.vectors_per_iter,
+        "steps_per_iter": program.steps_per_iter,
+        "overlapped": program.overlapped,
+        "elem_bytes": program.elem_bytes,
+        "input_array": program.input_array,
+        "output_array": program.output_array,
+        "tail_spec": _spec_to_dict(program.tail_spec),
+        "notes": program.notes,
+    }
+
+
+def program_from_dict(d: Dict[str, Any]):
+    from ..vectorize.program import Loop, VectorProgram
+    return VectorProgram(
+        name=str(d["name"]),
+        scheme=str(d["scheme"]),
+        width=int(d["width"]),
+        loops=tuple(
+            Loop(var=str(l["var"]), start=int(l["start"]),
+                 stop=int(l["stop"]), step=int(l["step"]))
+            for l in d["loops"]
+        ),
+        prologue=tuple(instr_from_dict(i) for i in d["prologue"]),
+        body=tuple(instr_from_dict(i) for i in d["body"]),
+        vectors_per_iter=int(d["vectors_per_iter"]),
+        steps_per_iter=int(d.get("steps_per_iter", 1)),
+        overlapped=bool(d.get("overlapped", False)),
+        elem_bytes=int(d.get("elem_bytes", 8)),
+        input_array=str(d.get("input_array", "a")),
+        output_array=str(d.get("output_array", "out")),
+        tail_spec=_spec_from_dict(d.get("tail_spec")),
+        notes=str(d.get("notes", "")),
+    )
+
+
+def dumps(program, **json_kwargs) -> str:
+    """Serialize a program to a JSON string."""
+    return json.dumps(program_to_dict(program), **json_kwargs)
+
+
+def loads(text: str):
+    """Deserialize a program from a JSON string."""
+    return program_from_dict(json.loads(text))

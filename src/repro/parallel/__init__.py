@@ -1,0 +1,16 @@
+"""Multicore substrate: topology description, the analytic multicore
+performance model (bandwidth sharing, NUMA, phase barriers — §4.4/§4.5),
+and a real shared-memory thread-pool executor for the numpy path.
+"""
+
+from .topology import CoreAllocation, allocate_cores
+from .simulator import MulticoreModel
+from .executor import run_parallel, apply_tile
+
+__all__ = [
+    "CoreAllocation",
+    "allocate_cores",
+    "MulticoreModel",
+    "run_parallel",
+    "apply_tile",
+]

@@ -1,0 +1,146 @@
+"""The analytic multicore model behind Figures 10 and 11.
+
+Composes the single-core roofline (:class:`~repro.machine.perfmodel.PerformanceModel`)
+with:
+
+* **core placement** — the paper's alternate-socket policy and its NUMA
+  remote-traffic share (:mod:`repro.parallel.topology`);
+* **cache blocking** — the working set handed to the cache model is the
+  tile's, not the grid's, so blocked runs are fed from cache
+  (:func:`repro.tiling.blocks.tile_working_set`);
+* **time tiling** — tessellated time blocks divide DRAM traffic by the
+  depth ``Tb`` and charge ``2^d`` phase barriers per block
+  (:class:`repro.tiling.tessellate.TessellationPlan`).
+
+The emergent behaviour reproduces §4.5: near-linear 1-D/2-D scaling until
+shared bandwidth saturates, earlier roll-off for 3-D (bigger per-point
+traffic, worse locality), and the NUMA wobble on the dual-socket Intel
+machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..config import MachineConfig
+from ..errors import ModelError
+from ..machine.perfmodel import KernelCost, PerfResult, PerformanceModel
+from ..stencils.spec import StencilSpec
+from ..tiling.blocks import tile_working_set
+from ..tiling.tessellate import tessellation_plan
+from .topology import allocate_cores
+
+
+@dataclass(frozen=True)
+class ParallelSetup:
+    """The blocking/tiling context of a parallel run."""
+
+    tile_shape: Optional[Sequence[int]] = None
+    time_depth: int = 1
+    placement: str = "alternate"
+
+    def __post_init__(self) -> None:
+        if self.time_depth < 1:
+            raise ModelError("time_depth must be >= 1")
+
+
+class MulticoreModel:
+    """GStencil/s for (kernel cost, problem, cores) on one machine."""
+
+    def __init__(self, machine: MachineConfig) -> None:
+        self.machine = machine
+        self.single = PerformanceModel(machine)
+
+    def estimate(
+        self,
+        cost: KernelCost,
+        spec: StencilSpec,
+        *,
+        points: int,
+        steps: int,
+        cores: int,
+        setup: ParallelSetup = ParallelSetup(),
+        efficiency: float = 1.0,
+    ) -> PerfResult:
+        alloc = allocate_cores(self.machine, cores, policy=setup.placement)
+        elem = self.machine.element_bytes
+        hierarchy = self.single.memory
+
+        if setup.tile_shape is not None:
+            # Tessellating tiling is non-redundant: a phase's live data is
+            # the tile plus a one-radius band (no trapezoid halo growth),
+            # regardless of the time depth.
+            ws = float(tile_working_set(
+                setup.tile_shape, spec, element_bytes=elem, time_depth=1,
+            ))
+            ws_per_core = True
+            plan = tessellation_plan(spec, setup.tile_shape, setup.time_depth) \
+                if setup.time_depth > 1 else None
+        else:
+            ws = 2.0 * points * elem
+            ws_per_core = False
+            plan = None
+
+        # Phase barriers: one per dependence-free phase per time block.
+        if setup.time_depth > 1 and plan is not None:
+            blocks = max(1, steps // setup.time_depth)
+            sync_phases = plan.phases * blocks
+        else:
+            sync_phases = steps if cores > 1 else 0
+
+        base = self.single.estimate(
+            cost,
+            points=points,
+            steps=steps,
+            working_set_bytes=ws,
+            cores=cores,
+            numa_remote_fraction=alloc.remote_fraction,
+            sync_phases=sync_phases,
+            efficiency=efficiency,
+            working_set_per_core=ws_per_core,
+        )
+        # ``base.memory_time_s`` is the *near* term: every sweep pulls the
+        # (tile-resident) data through the level the working set sits in.
+        # Blocked runs also pay the *far* term — the whole grid must stream
+        # from its home level once per time block (spatial blocking cannot
+        # remove compulsory traffic; only time-tiling depth amortizes it).
+        sweeps = steps / cost.steps_per_iter
+        depth = max(setup.time_depth / cost.steps_per_iter, 1.0)
+        far = hierarchy.sweep_time(
+            bytes_loaded=points * elem * sweeps / depth,
+            bytes_stored=points * elem * sweeps / depth,
+            working_set_bytes=2.0 * points * elem,
+            cores=cores,
+            numa_remote_fraction=alloc.remote_fraction,
+        )
+        mem = max(base.memory_time_s, far.time_s)
+        time_s = max(base.compute_time_s, mem)
+        time_s += sync_phases * self.machine.sync_overhead_us * 1e-6
+        level = far.level if far.time_s >= base.memory_time_s else base.level
+        return PerfResult(
+            gstencil_s=points * steps / time_s / 1e9,
+            time_s=time_s,
+            compute_time_s=base.compute_time_s,
+            memory_time_s=mem,
+            level=level,
+            bottleneck="compute" if base.compute_time_s >= mem else "memory",
+        )
+
+    def scaling_curve(
+        self,
+        cost: KernelCost,
+        spec: StencilSpec,
+        *,
+        points: int,
+        steps: int,
+        core_counts: Sequence[int],
+        setup: ParallelSetup = ParallelSetup(),
+        efficiency: float = 1.0,
+    ) -> List[PerfResult]:
+        """GStencil/s at each core count (Figure 11's series)."""
+        return [
+            self.estimate(cost, spec, points=points, steps=steps, cores=c,
+                          setup=setup, efficiency=efficiency)
+            for c in core_counts
+        ]

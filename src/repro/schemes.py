@@ -1,0 +1,139 @@
+"""The scheme registry: one place that knows how to lower every
+vectorization scheme the paper evaluates.
+
+Names follow the paper's figures:
+
+========== ====================================================
+``auto``     Multiple Loads / compiler auto-vectorization
+``reorg``    Multiple Permutations / Data Reorganization
+``folding``  Folding [SC'21]
+``tess``     Tessellation in-core scheme [ICPP'19]
+``jigsaw``   LBV + SDF (spatial-only Jigsaw, §4.3's "Jigsaw")
+``t-jigsaw`` LBV + SDF + ITM(auto depth) ("T-Jigsaw")
+``t4-jigsaw``LBV + SDF + 4-step ITM (Figure 6 / "T-4 Jigsaw";
+             1-D kernels only)
+``lbv``      LBV without SDF (Figure-7 ablation rung)
+========== ====================================================
+
+:func:`model_program` lowers a scheme against a small model grid with the
+right halo/divisibility, which is all the analytic cost model needs (the
+body instruction mix is grid-size independent).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from .config import MachineConfig
+from .core.jigsaw import generate_jigsaw
+from .core.jigsaw import required_halo as jigsaw_halo
+from .core.planner import auto_fusion, plan
+from .core.sdf import rows_as_terms
+from .errors import VectorizeError
+from .machine.perfmodel import KernelCost, PerformanceModel
+from .stencils.grid import Grid
+from .stencils.spec import StencilSpec
+from .vectorize.folding import generate_folding
+from .vectorize.folding import required_halo as folding_halo
+from .vectorize.multiple_loads import generate_multiple_loads
+from .vectorize.multiple_perms import generate_multiple_perms
+from .vectorize.multiple_perms import required_halo as perms_halo
+from .vectorize.program import VectorProgram
+from .vectorize.tessellation import generate_tessellation
+
+SCHEMES: Tuple[str, ...] = (
+    "auto", "reorg", "folding", "tess", "lbv", "jigsaw", "t-jigsaw",
+    "t4-jigsaw",
+)
+
+#: display names used in tables/figures
+LABELS: Dict[str, str] = {
+    "auto": "Auto (Multiple Loads)",
+    "reorg": "Reorg (Multiple Perms)",
+    "folding": "Folding",
+    "tess": "Tessellation",
+    "lbv": "Jigsaw (LBV only)",
+    "jigsaw": "Jigsaw",
+    "t-jigsaw": "T-Jigsaw",
+    "t4-jigsaw": "T-4 Jigsaw",
+}
+
+
+def scheme_halo(scheme: str, spec: StencilSpec,
+                machine: MachineConfig) -> Tuple[int, ...]:
+    if scheme == "folding":
+        return folding_halo(spec, machine)
+    if scheme in ("auto", "reorg", "tess"):
+        return perms_halo(spec, machine)
+    fusion = _fusion_depth(scheme, spec, machine)
+    return jigsaw_halo(spec, machine, time_fusion=fusion)
+
+
+def scheme_block(scheme: str, machine: MachineConfig) -> int:
+    w = machine.vector_elems
+    if scheme == "folding":
+        return w * w
+    if scheme in ("auto", "reorg", "tess"):
+        return w
+    return 2 * w
+
+
+def _fusion_depth(scheme: str, spec: StencilSpec,
+                  machine: MachineConfig) -> int:
+    if scheme == "t-jigsaw":
+        return auto_fusion(spec, machine)
+    if scheme == "t4-jigsaw":
+        if spec.ndim != 1:
+            raise VectorizeError("t4-jigsaw applies to 1-D kernels only (§4.4)")
+        return 4
+    return 1
+
+
+def model_grid(scheme: str, spec: StencilSpec, machine: MachineConfig,
+               *, seed: Optional[int] = None) -> Grid:
+    """A small grid with valid halo/divisibility for lowering ``scheme``
+    (x extent covers several blocks so sliding-window reuse is exercised)."""
+    block = scheme_block(scheme, machine)
+    nx = 3 * max(block, 16)
+    shape = (4,) * (spec.ndim - 1) + (nx,)
+    halo = scheme_halo(scheme, spec, machine)
+    if seed is None:
+        return Grid(shape, halo)
+    return Grid.random(shape, halo, seed=seed)
+
+
+def generate(scheme: str, spec: StencilSpec, machine: MachineConfig,
+             grid: Grid) -> VectorProgram:
+    """Lower ``scheme`` for ``spec`` against ``grid``."""
+    if scheme == "auto":
+        return generate_multiple_loads(spec, machine, grid)
+    if scheme == "reorg":
+        return generate_multiple_perms(spec, machine, grid)
+    if scheme == "folding":
+        return generate_folding(spec, machine, grid)
+    if scheme == "tess":
+        return generate_tessellation(spec, machine, grid)
+    if scheme == "lbv":
+        return generate_jigsaw(spec, machine, grid,
+                               terms=rows_as_terms(spec),
+                               scheme="jigsaw-lbv-only")
+    if scheme in ("jigsaw", "t-jigsaw", "t4-jigsaw"):
+        fusion = _fusion_depth(scheme, spec, machine)
+        p = plan(spec, machine, time_fusion=fusion)
+        return generate_jigsaw(spec, machine, grid, time_fusion=fusion,
+                               terms=p.terms, scheme=p.scheme)
+    raise VectorizeError(f"unknown scheme {scheme!r}; known: {SCHEMES}")
+
+
+def model_program(scheme: str, spec: StencilSpec,
+                  machine: MachineConfig) -> VectorProgram:
+    """Lower against a model grid (instruction mix only)."""
+    return generate(scheme, spec, machine, model_grid(scheme, spec, machine))
+
+
+def model_cost(scheme: str, spec: StencilSpec,
+               machine: MachineConfig) -> KernelCost:
+    """The scheme's :class:`~repro.machine.perfmodel.KernelCost` for
+    ``spec`` on ``machine``."""
+    program = model_program(scheme, spec, machine)
+    return PerformanceModel(machine).kernel_cost(program)

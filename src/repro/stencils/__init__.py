@@ -1,0 +1,27 @@
+"""Stencil specifications, the standard kernel library, grids with halos,
+boundary handling, and ground-truth reference implementations.
+
+This package is the substrate every vectorization scheme is validated
+against: :func:`repro.stencils.reference.apply_numpy` defines the semantics
+of one Jacobi sweep, and :class:`repro.stencils.spec.StencilSpec` is the
+single source of truth for a kernel's offsets and coefficients.
+"""
+
+from .spec import StencilSpec, star, box, from_array
+from .grid import Grid
+from .boundary import fill_halo
+from .reference import apply_numpy, apply_scalar, apply_steps
+from . import library
+
+__all__ = [
+    "StencilSpec",
+    "star",
+    "box",
+    "from_array",
+    "Grid",
+    "fill_halo",
+    "apply_numpy",
+    "apply_scalar",
+    "apply_steps",
+    "library",
+]

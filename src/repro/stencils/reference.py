@@ -1,0 +1,94 @@
+"""Ground-truth stencil implementations.
+
+:func:`apply_numpy` (shift-and-accumulate on halo grids) defines the
+semantics every vectorization scheme in this repository must reproduce
+bit-for-bit up to floating-point reassociation.  :func:`apply_scalar` is a
+deliberately naive triple loop used to validate ``apply_numpy`` itself on
+tiny grids.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import GridError
+from .boundary import fill_halo
+from .grid import Grid
+from .spec import StencilSpec
+
+
+def required_halo(spec: StencilSpec) -> tuple:
+    """The minimum per-axis halo one sweep of ``spec`` reads."""
+    return spec.radius
+
+
+def _check_halo(spec: StencilSpec, grid: Grid) -> None:
+    need = required_halo(spec)
+    if grid.ndim != spec.ndim:
+        raise GridError(
+            f"grid ndim {grid.ndim} != stencil ndim {spec.ndim} ({spec.tag})"
+        )
+    if any(h < r for h, r in zip(grid.halo, need)):
+        raise GridError(
+            f"grid halo {grid.halo} too small for {spec.tag} (needs {need})"
+        )
+
+
+def apply_numpy(spec: StencilSpec, grid: Grid, out: Optional[Grid] = None) -> Grid:
+    """One Jacobi sweep using numpy shifted views.
+
+    The halo must already be filled.  Writes the updated interior into
+    ``out`` (allocated if ``None``) and returns it.
+    """
+    _check_halo(spec, grid)
+    if out is None:
+        out = grid.like()
+    acc = out.interior
+    acc.fill(0.0)
+    for off, c in zip(spec.offsets, spec.coeffs):
+        # acc += c * in[p + off]; shifted_interior reads the halo as needed.
+        np.add(acc, c * grid.shifted_interior(off), out=acc)
+    return out
+
+
+def apply_scalar(spec: StencilSpec, grid: Grid, out: Optional[Grid] = None) -> Grid:
+    """One Jacobi sweep with explicit Python loops (tiny grids only)."""
+    _check_halo(spec, grid)
+    if out is None:
+        out = grid.like()
+    halo = grid.halo
+    table = list(zip(spec.offsets, spec.coeffs))
+    for idx in np.ndindex(*grid.shape):
+        s = 0.0
+        for off, c in table:
+            src = tuple(i + h + o for i, h, o in zip(idx, halo, off))
+            s += c * float(grid.data[src])
+        out.data[tuple(i + h for i, h in zip(idx, halo))] = s
+    return out
+
+
+def apply_steps(
+    spec: StencilSpec,
+    grid: Grid,
+    steps: int,
+    *,
+    boundary: str = "periodic",
+    value: float = 0.0,
+) -> Grid:
+    """``steps`` Jacobi sweeps with halo refills between them.
+
+    Returns a new grid; ``grid`` is not modified.  This is the semantic
+    yardstick for ITM: fusing ``s`` steps must equal ``apply_steps(...,
+    steps=s)``.
+    """
+    if steps < 0:
+        raise GridError("steps must be non-negative")
+    cur = grid.copy()
+    nxt = grid.like()
+    for _ in range(steps):
+        fill_halo(cur, boundary, value=value)
+        apply_numpy(spec, cur, nxt)
+        cur, nxt = nxt, cur
+    return cur

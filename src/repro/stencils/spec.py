@@ -1,0 +1,280 @@
+"""Stencil specifications.
+
+A :class:`StencilSpec` is an immutable description of a Jacobi stencil: a
+set of integer neighbour offsets and one coefficient per offset.  The paper
+names kernels ``nDkP`` (dimensions / points); :attr:`StencilSpec.tag`
+reproduces that naming.
+
+Axis convention
+---------------
+Offsets are ``(axis_0, ..., axis_{d-1})`` with the **last axis being the
+unit-stride x dimension** — the one vectorized by LBV.  For 2-D that is
+``(y, x)``, for 3-D ``(z, y, x)``, matching C row-major layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SpecError
+
+Offset = Tuple[int, ...]
+
+
+def _as_offset(off: Sequence[int], ndim: int) -> Offset:
+    off = tuple(int(o) for o in off)
+    if len(off) != ndim:
+        raise SpecError(f"offset {off} has {len(off)} axes, expected {ndim}")
+    return off
+
+
+@dataclass(frozen=True)
+class StencilSpec:
+    """An immutable Jacobi stencil: ``out[p] = sum_o coeff[o] * in[p + o]``.
+
+    Use the factory helpers :func:`star`, :func:`box`, :func:`from_array`
+    for the common shapes; the constructor validates arbitrary point sets.
+    """
+
+    name: str
+    ndim: int
+    offsets: Tuple[Offset, ...]
+    coeffs: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.ndim < 1:
+            raise SpecError("ndim must be >= 1")
+        if not self.offsets:
+            raise SpecError("a stencil needs at least one point")
+        if len(self.offsets) != len(self.coeffs):
+            raise SpecError(
+                f"{len(self.offsets)} offsets but {len(self.coeffs)} coefficients"
+            )
+        seen: set[Offset] = set()
+        norm = []
+        for off in self.offsets:
+            off = _as_offset(off, self.ndim)
+            if off in seen:
+                raise SpecError(f"duplicate offset {off}")
+            seen.add(off)
+            norm.append(off)
+        object.__setattr__(self, "offsets", tuple(norm))
+        object.__setattr__(self, "coeffs", tuple(float(c) for c in self.coeffs))
+        if not all(np.isfinite(self.coeffs)):
+            raise SpecError("coefficients must be finite")
+
+    # -- basic shape queries ------------------------------------------------
+    @property
+    def npoints(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def radius(self) -> Tuple[int, ...]:
+        """Per-axis radius (max abs offset)."""
+        return tuple(
+            max(abs(o[a]) for o in self.offsets) for a in range(self.ndim)
+        )
+
+    @property
+    def order(self) -> int:
+        """The paper's 'order': the maximum per-axis radius."""
+        return max(self.radius)
+
+    @property
+    def tag(self) -> str:
+        """The paper's ``nDkP`` naming, e.g. ``2D9P``."""
+        return f"{self.ndim}D{self.npoints}P"
+
+    @property
+    def is_star(self) -> bool:
+        """True if every non-centre offset lies on a coordinate axis."""
+        return all(sum(1 for c in off if c != 0) <= 1 for off in self.offsets)
+
+    @property
+    def is_box(self) -> bool:
+        """True if the points fill the whole ``(2r+1)^d`` box."""
+        r = self.radius
+        expect = 1
+        for ra in r:
+            expect *= 2 * ra + 1
+        return self.npoints == expect
+
+    @property
+    def is_symmetric(self) -> bool:
+        """Centro-symmetric coefficients (c[o] == c[-o]), §3.2."""
+        table = self.coefficient_table()
+        return all(
+            np.isclose(c, table.get(tuple(-x for x in off), np.nan))
+            for off, c in table.items()
+        )
+
+    # -- coefficient views ---------------------------------------------------
+    def coefficient_table(self) -> Dict[Offset, float]:
+        return dict(zip(self.offsets, self.coeffs))
+
+    def coefficient_array(self) -> np.ndarray:
+        """Dense ``(2r_0+1, ..., 2r_{d-1}+1)`` array of coefficients, centre
+        at index ``r``.  This is the matrix `W` that SDF decomposes (2-D) and
+        the array ITM convolves with itself."""
+        r = self.radius
+        arr = np.zeros(tuple(2 * ra + 1 for ra in r), dtype=np.float64)
+        for off, c in zip(self.offsets, self.coeffs):
+            arr[tuple(o + ra for o, ra in zip(off, r))] = c
+        return arr
+
+    def coefficient_matrix(self) -> np.ndarray:
+        """The 2-D coefficient matrix ``W`` of §3.2 (requires ndim == 2)."""
+        if self.ndim != 2:
+            raise SpecError(
+                f"coefficient_matrix is 2-D only; {self.tag} has ndim={self.ndim}"
+            )
+        return self.coefficient_array()
+
+    def coefficient_sum(self) -> float:
+        return float(sum(self.coeffs))
+
+    # -- derived stencils ----------------------------------------------------
+    def scaled(self, factor: float) -> "StencilSpec":
+        return StencilSpec(
+            name=f"{self.name}*{factor:g}",
+            ndim=self.ndim,
+            offsets=self.offsets,
+            coeffs=tuple(c * factor for c in self.coeffs),
+        )
+
+    def renamed(self, name: str) -> "StencilSpec":
+        return StencilSpec(name=name, ndim=self.ndim, offsets=self.offsets,
+                           coeffs=self.coeffs)
+
+    def axis_taps(self, axis: int) -> Dict[int, float]:
+        """Taps along one axis for 1-D-separable uses; only valid when all
+        offsets are on that axis (star 1-D views)."""
+        taps: Dict[int, float] = {}
+        for off, c in zip(self.offsets, self.coeffs):
+            if any(off[a] != 0 for a in range(self.ndim) if a != axis):
+                raise SpecError(
+                    f"{self.tag} has off-axis points; axis_taps needs a 1-D line"
+                )
+            taps[off[axis]] = taps.get(off[axis], 0.0) + c
+        return taps
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<StencilSpec {self.name} {self.tag} r={self.radius}>"
+
+
+# -- factories ----------------------------------------------------------------
+
+def star(
+    ndim: int,
+    radius: int,
+    *,
+    center: float,
+    arm: Sequence[float],
+    name: str | None = None,
+) -> StencilSpec:
+    """A star (axis-aligned cross) stencil.
+
+    ``arm[k-1]`` is the coefficient of the neighbours at distance ``k``
+    along every axis in both directions (the symmetric case the paper
+    evaluates).
+    """
+    if radius < 1:
+        raise SpecError("star radius must be >= 1")
+    if len(arm) != radius:
+        raise SpecError(f"need {radius} arm coefficients, got {len(arm)}")
+    offsets: list[Offset] = [(0,) * ndim]
+    coeffs: list[float] = [center]
+    for axis in range(ndim):
+        for k in range(1, radius + 1):
+            for sign in (-1, 1):
+                off = [0] * ndim
+                off[axis] = sign * k
+                offsets.append(tuple(off))
+                coeffs.append(float(arm[k - 1]))
+    npoints = 1 + 2 * ndim * radius
+    spec = StencilSpec(
+        name=name or f"star-{ndim}d{npoints}p",
+        ndim=ndim,
+        offsets=tuple(offsets),
+        coeffs=tuple(coeffs),
+    )
+    return spec
+
+
+def box(
+    ndim: int,
+    radius: int,
+    weights: np.ndarray | None = None,
+    *,
+    name: str | None = None,
+) -> StencilSpec:
+    """A dense box stencil over the full ``(2r+1)^d`` neighbourhood.
+
+    ``weights`` must have shape ``(2r+1,)*ndim``; ``None`` gives the uniform
+    average.  Zero weights are kept (a box is a box); use
+    :func:`from_array` to drop structural zeros.
+    """
+    side = 2 * radius + 1
+    shape = (side,) * ndim
+    if weights is None:
+        weights = np.full(shape, 1.0 / side**ndim)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != shape:
+        raise SpecError(f"weights shape {weights.shape} != {shape}")
+    offsets = []
+    coeffs = []
+    for idx in np.ndindex(*shape):
+        offsets.append(tuple(i - radius for i in idx))
+        coeffs.append(float(weights[idx]))
+    return StencilSpec(
+        name=name or f"box-{ndim}d{side**ndim}p",
+        ndim=ndim,
+        offsets=tuple(offsets),
+        coeffs=tuple(coeffs),
+    )
+
+
+def from_array(
+    weights: np.ndarray,
+    *,
+    name: str = "custom",
+    keep_zeros: bool = False,
+    tol: float = 0.0,
+) -> StencilSpec:
+    """Build a spec from a dense odd-sided coefficient array (centre at the
+    middle index).  Entries with ``|w| <= tol`` are dropped unless
+    ``keep_zeros``."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if any(s % 2 == 0 for s in weights.shape):
+        raise SpecError(f"coefficient array sides must be odd, got {weights.shape}")
+    r = tuple(s // 2 for s in weights.shape)
+    offsets = []
+    coeffs = []
+    for idx in np.ndindex(*weights.shape):
+        w = float(weights[idx])
+        if not keep_zeros and abs(w) <= tol:
+            continue
+        offsets.append(tuple(i - ra for i, ra in zip(idx, r)))
+        coeffs.append(w)
+    if not offsets:
+        raise SpecError("coefficient array is entirely zero")
+    return StencilSpec(name=name, ndim=weights.ndim, offsets=tuple(offsets),
+                       coeffs=tuple(coeffs))
+
+
+def iter_row_offsets(spec: StencilSpec) -> Iterable[Tuple[Offset, Dict[int, float]]]:
+    """Group a spec's points by their outer-axes coordinates.
+
+    Yields ``(outer_offset, {x_offset: coeff})`` pairs — the "rows" the
+    Multiple-Permutations and SDF schemes load.  For 1-D the single outer
+    offset is ``()``.
+    """
+    rows: Dict[Offset, Dict[int, float]] = {}
+    for off, c in zip(spec.offsets, spec.coeffs):
+        outer, x = off[:-1], off[-1]
+        rows.setdefault(outer, {})[x] = rows.get(outer, {}).get(x, 0.0) + c
+    for outer in sorted(rows):
+        yield outer, rows[outer]

@@ -1,0 +1,71 @@
+"""Tile schedules: which tiles run concurrently, in how many phases.
+
+A :class:`TileSchedule` is the contract between the tiling layer and both
+consumers: the real thread-pool executor (:mod:`repro.parallel.executor`)
+runs each phase's tiles concurrently with a barrier between phases, and
+the multicore model (:mod:`repro.parallel.simulator`) charges one sync per
+phase per time block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import TilingError
+from ..stencils.spec import StencilSpec
+from .blocks import BlockPartition, Tile, partition
+
+
+@dataclass(frozen=True)
+class TileSchedule:
+    """Phases of dependence-free tiles covering one (time-blocked) sweep."""
+
+    phases: Tuple[Tuple[Tile, ...], ...]
+    time_depth: int
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.phases)
+
+    @property
+    def n_tiles(self) -> int:
+        return sum(len(p) for p in self.phases)
+
+    def max_parallelism(self) -> int:
+        return max((len(p) for p in self.phases), default=0)
+
+    def all_tiles(self) -> List[Tile]:
+        return [t for phase in self.phases for t in phase]
+
+
+def build_schedule(
+    shape: Sequence[int],
+    tile_shape: Sequence[int],
+    *,
+    spec: StencilSpec | None = None,
+    time_depth: int = 1,
+) -> TileSchedule:
+    """A schedule over ``shape``.
+
+    With ``time_depth == 1`` (pure spatial blocking of a Jacobi sweep,
+    in/out arrays distinct) every tile is independent: one phase.  With
+    deeper time blocks the tessellation needs ``2^d`` phases; tiles are
+    split checkerboard-style by tile-index parity, which over-approximates
+    the tessellated geometry but preserves its phase count and parallelism
+    for modelling and for redundant-halo execution.
+    """
+    if time_depth < 1:
+        raise TilingError("time_depth must be >= 1")
+    part: BlockPartition = partition(shape, tile_shape)
+    if time_depth == 1:
+        return TileSchedule(phases=(part.tiles,), time_depth=1)
+    ndim = len(part.shape)
+    buckets: List[List[Tile]] = [[] for _ in range(2 ** ndim)]
+    for tile in part:
+        key = 0
+        for axis, (a, t) in enumerate(zip(tile.start, part.tile_shape)):
+            key |= ((a // t) % 2) << axis
+        buckets[key].append(tile)
+    phases = tuple(tuple(b) for b in buckets if b)
+    return TileSchedule(phases=phases, time_depth=time_depth)

@@ -1,0 +1,165 @@
+"""Model-driven autotuning of blocking parameters.
+
+The stencil autotuning literature the paper cites (PATUS, MODESTO, ...)
+searches tile shapes and time depths per kernel and machine; the paper
+itself fine-tunes Table 3's blocking "based on relevant work to guarantee
+peak performance".  This module automates that step against our analytic
+multicore model: enumerate candidate spatial tiles and tessellation
+depths, estimate each with :class:`~repro.parallel.simulator.MulticoreModel`,
+and return the best configuration.
+
+The search is exhaustive over a small structured candidate set (the model
+is cheap), deterministic, and returns the full ranking so callers can
+inspect the trade-off surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .config import MachineConfig
+from .errors import ModelError
+from .machine.perfmodel import PerfResult
+from .parallel.simulator import MulticoreModel, ParallelSetup
+from .schemes import model_cost
+from .stencils.spec import StencilSpec
+
+
+@dataclass(frozen=True)
+class TuneCandidate:
+    scheme: str
+    tile_shape: Tuple[int, ...]
+    time_depth: int
+    result: PerfResult
+
+    @property
+    def gstencil_s(self) -> float:
+        return self.result.gstencil_s
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    best: TuneCandidate
+    ranking: Tuple[TuneCandidate, ...]  #: all candidates, best first
+
+    @property
+    def evaluated(self) -> int:
+        return len(self.ranking)
+
+    def summary(self) -> str:
+        b = self.best
+        return (
+            f"{b.scheme}: tile {'x'.join(map(str, b.tile_shape))}, "
+            f"Tb={b.time_depth} -> {b.gstencil_s:.2f} GStencil/s "
+            f"({b.result.bottleneck}-bound, {self.evaluated} candidates)"
+        )
+
+
+def _axis_candidates(extent: int, *, smallest: int = 8) -> List[int]:
+    """Power-of-two-ish tile extents dividing... clipping to the axis."""
+    out = []
+    t = smallest
+    while t < extent:
+        out.append(t)
+        t *= 2
+    out.append(extent)
+    return out
+
+
+def candidate_tiles(problem_size: Sequence[int],
+                    *, per_axis_limit: int = 6) -> List[Tuple[int, ...]]:
+    """The structured spatial-tile candidate set: per-axis geometric
+    ladders, combined."""
+    axes = []
+    for n in problem_size:
+        ladder = _axis_candidates(int(n))
+        if len(ladder) > per_axis_limit:
+            # subsample evenly across the ladder, always keeping the
+            # smallest (cache-sized) and the untiled full extent
+            idx = [round(i * (len(ladder) - 1) / (per_axis_limit - 1))
+                   for i in range(per_axis_limit)]
+            ladder = [ladder[i] for i in sorted(set(idx))]
+        axes.append(ladder)
+    tiles: List[Tuple[int, ...]] = [()]
+    for cands in axes:
+        tiles = [t + (c,) for t in tiles for c in cands]
+    return tiles
+
+
+def candidate_depths(spec: StencilSpec, tile: Sequence[int]) -> List[int]:
+    """Legal tessellation depths for ``tile``: 1, 2, 4, ... up to the
+    ``2 r Tb <= min extent`` bound."""
+    r = max(spec.radius)
+    cap = min(int(t) for t in tile) // (2 * r) if r else min(tile)
+    depths = [1]
+    d = 2
+    while d <= cap:
+        depths.append(d)
+        d *= 2
+    if cap > 1 and cap not in depths:
+        depths.append(cap)
+    return depths
+
+
+def autotune(
+    spec: StencilSpec,
+    machine: MachineConfig,
+    *,
+    problem_size: Sequence[int],
+    steps: int,
+    cores: Optional[int] = None,
+    schemes: Sequence[str] = ("jigsaw", "t-jigsaw"),
+    tiles: Optional[Sequence[Tuple[int, ...]]] = None,
+    top: Optional[int] = None,
+) -> TuneResult:
+    """Search (scheme, tile, time depth) for the best modelled GStencil/s.
+
+    ``problem_size`` is the interior extent per axis; ``cores`` defaults
+    to the whole machine.  Schemes that cannot lower for this kernel
+    (e.g. ``t4-jigsaw`` beyond 1-D) are skipped silently.
+    """
+    problem_size = tuple(int(n) for n in problem_size)
+    if len(problem_size) != spec.ndim:
+        raise ModelError(
+            f"problem rank {len(problem_size)} != stencil ndim {spec.ndim}"
+        )
+    if steps < 1:
+        raise ModelError("steps must be >= 1")
+    cores = machine.total_cores if cores is None else cores
+    points = 1
+    for n in problem_size:
+        points *= n
+    model = MulticoreModel(machine)
+    tiles = list(tiles) if tiles is not None else candidate_tiles(problem_size)
+
+    costs: Dict[str, object] = {}
+    for scheme in schemes:
+        try:
+            costs[scheme] = model_cost(scheme, spec, machine)
+        except Exception:
+            continue
+    if not costs:
+        raise ModelError(f"no scheme in {schemes} lowers for {spec.name}")
+
+    candidates: List[TuneCandidate] = []
+    for tile in tiles:
+        for depth in candidate_depths(spec, tile):
+            setup = ParallelSetup(tile_shape=tile, time_depth=depth)
+            for scheme, cost in costs.items():
+                try:
+                    res = model.estimate(cost, spec, points=points,
+                                         steps=steps, cores=cores,
+                                         setup=setup)
+                except ModelError:
+                    continue
+                candidates.append(TuneCandidate(
+                    scheme=scheme, tile_shape=tile, time_depth=depth,
+                    result=res,
+                ))
+    if not candidates:
+        raise ModelError("no feasible (tile, depth) candidate")
+    ranking = tuple(sorted(candidates, key=lambda c: -c.gstencil_s))
+    if top is not None:
+        ranking = ranking[:top]
+    return TuneResult(best=ranking[0], ranking=ranking)

@@ -1,0 +1,35 @@
+"""Vectorization schemes as instruction-stream generators.
+
+Each generator lowers a :class:`~repro.stencils.spec.StencilSpec` to a
+:class:`~repro.vectorize.program.VectorProgram` that (a) executes correctly
+on the :class:`~repro.machine.machine.SimdMachine` interpreter and (b)
+carries the instruction mix the analytic performance model costs.
+
+Baselines reproduced from the paper's evaluation:
+
+* :mod:`multiple_loads` — the compiler auto-vectorization strategy
+  ("Auto" in Table 2): one unaligned load per neighbour.
+* :mod:`multiple_perms` — Multiple Permutations / Data Reorganization
+  ("Reorg"): one load per row, shuffles to build every shifted vector.
+* :mod:`folding` — the SC'21 Folding technique (in-register transpose).
+* :mod:`tessellation` — the ICPP'19 Tessellation star-stencil baseline.
+* :mod:`dsl` — SDSL- and Pluto-like end-to-end baseline cost models.
+
+Jigsaw's own generators live in :mod:`repro.core`.
+"""
+
+from .program import Loop, VectorProgram, ProgramBuilder
+from .multiple_loads import generate_multiple_loads
+from .multiple_perms import generate_multiple_perms
+from .folding import generate_folding
+from .tessellation import generate_tessellation
+
+__all__ = [
+    "Loop",
+    "VectorProgram",
+    "ProgramBuilder",
+    "generate_multiple_loads",
+    "generate_multiple_perms",
+    "generate_folding",
+    "generate_tessellation",
+]

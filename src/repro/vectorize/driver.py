@@ -1,0 +1,99 @@
+"""Execute a vector program over time steps on the SIMD machine.
+
+The driver owns what real stencil codes put around the vector kernel:
+halo refills between sweeps and the in/out buffer swap.  A program fusing
+``s`` time steps (ITM) advances ``s`` steps per sweep; its halo must be
+``s`` times the base radius and, because the fused coefficients assume the
+ghost values evolve with the field, exact multi-step fusion requires
+periodic boundaries (see DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import VectorizeError
+from ..machine.machine import SimdMachine
+from ..machine.trace import TraceCounter
+from ..stencils.boundary import fill_halo
+from ..stencils.grid import Grid
+from .program import VectorProgram
+
+
+def run_program(
+    program: VectorProgram,
+    grid: Grid,
+    steps: int,
+    *,
+    boundary: str = "periodic",
+    value: float = 0.0,
+    counter: Optional[TraceCounter] = None,
+    mem_hook=None,
+) -> Grid:
+    """Run ``steps`` time steps of ``program`` starting from ``grid``.
+
+    Returns a new grid; ``grid`` is unchanged.  ``steps`` must be a
+    multiple of the program's fused step count.
+    """
+    s = program.steps_per_iter
+    if steps < 0:
+        raise VectorizeError("steps must be non-negative")
+    if steps % s:
+        raise VectorizeError(
+            f"steps={steps} not a multiple of the program's fused steps {s}"
+        )
+    if s > 1 and boundary != "periodic":
+        raise VectorizeError(
+            "temporally merged programs are exact only with periodic boundaries"
+        )
+    if grid.data.itemsize != program.elem_bytes:
+        raise VectorizeError(
+            f"grid dtype {grid.data.dtype} ({grid.data.itemsize}B) does not "
+            f"match the program's {program.elem_bytes}B elements"
+        )
+    machine = SimdMachine(program.width, elem_bytes=program.elem_bytes,
+                          mem_hook=mem_hook)
+    nx = grid.shape[-1]
+    covered = program.x_loop.trip_count * program.block
+    tail = nx - covered
+    if tail and program.tail_spec is None:
+        raise VectorizeError(
+            f"x extent {nx} leaves a {tail}-element remainder but the "
+            f"program carries no tail_spec for the scalar epilogue"
+        )
+    cur = grid.copy()
+    nxt = grid.like()
+    for _ in range(steps // s):
+        fill_halo(cur, boundary, value=value)
+        machine.run(
+            program,
+            {program.input_array: cur.data, program.output_array: nxt.data},
+            counter=counter,
+        )
+        if tail:
+            _apply_tail(program.tail_spec, cur, nxt, covered)
+        cur, nxt = nxt, cur
+    return cur
+
+
+def _apply_tail(spec, cur: Grid, nxt: Grid, covered: int) -> None:
+    """Scalar epilogue: complete the non-block-aligned x strip
+    ``[covered, nx)`` of one sweep with shifted-view accumulation."""
+    nx = cur.shape[-1]
+    strip = slice(covered, nx)
+    dst = nxt.interior[..., strip]
+    dst.fill(0.0)
+    for off, c in zip(spec.offsets, spec.coeffs):
+        src = cur.shifted_interior(off)[..., strip]
+        np.add(dst, c * src, out=dst)
+
+
+def measure_trace(program: VectorProgram, grid: Grid,
+                  *, boundary: str = "periodic") -> TraceCounter:
+    """One sweep's executed-instruction counts (Table-2 measurements)."""
+    counter = TraceCounter()
+    run_program(program, grid, program.steps_per_iter,
+                boundary=boundary, counter=counter)
+    return counter

@@ -1,0 +1,190 @@
+"""Shifted-vector construction — the Multiple-Permutations toolkit.
+
+Given two adjacent aligned registers ``u = a[x .. x+W-1]`` and
+``v = a[x+W .. x+2W-1]``, the vector shifted by ``d`` elements
+(``0 < d < W``) is built from the 128-bit-lane structure:
+
+* **even d** — one cross-lane lane-concat (``vperm2f128``): destination
+  lane ``j`` is lane ``j + d/2`` of ``u‖v``;
+* **odd d = 2m+1** — one in-lane ``vshufpd`` over the two even shifts
+  ``2m`` and ``2m+2`` (each element pairs the high half of one lane with
+  the low half of the next).
+
+:class:`ShiftCache` memoizes the intermediate even shifts, so e.g. shifts
+{-1, +1} for a 3-point row cost exactly 2 cross-lane + 2 in-lane
+instructions — the paper's Table-2 "Reorg" accounting for the heat
+kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import VectorizeError
+from .program import ProgramBuilder
+
+
+def _odd_imm(width: int) -> int:
+    """SHUFPD mask selecting (high of src1, low of src2) in every lane."""
+    imm = 0
+    for lane in range(width // 2):
+        imm |= 1 << (2 * lane)  # element 2k: high half of src1's lane
+    return imm
+
+
+#: vshufps control shifting a 4-element lane pair by two: (A2, A3, B0, B1)
+_PS_SHIFT2 = 0x4E
+#: vshufps control picking elements (1, 2) of each source's lane
+_PS_PICK12 = 0x99
+
+
+class ShiftCache:
+    """Builds ``a[x+d .. x+d+W-1]`` registers from a pair of aligned
+    registers, memoizing shared intermediates.
+
+    One cache instance covers one aligned pair ``(u, v)`` = elements
+    ``[base, base+2W)``; shifts ``d`` in ``[0, W]`` are supported
+    (``d = 0`` is ``u``, ``d = W`` is ``v``).  Works at both lane
+    granularities: float64 lanes (2 elements — one ``vshufpd`` per odd
+    shift) and float32 lanes (4 elements — ``vshufps`` chains for the
+    three sub-lane remainders).
+    """
+
+    def __init__(self, builder: ProgramBuilder, u: str, v: str) -> None:
+        self.b = builder
+        self.width = builder.width
+        self.epl = getattr(builder, "elems_per_lane", 2)
+        self._lane: Dict[int, str] = {0: u, self.width: v}
+        self._shifted: Dict[int, str] = {0: u, self.width: v}
+        self._mid: Dict[int, str] = {}
+
+    def even_shift(self, d: int) -> str:
+        """The lane-concat register for a lane-aligned shift (one
+        cross-lane instruction; ``d`` must be a multiple of the
+        elements-per-lane)."""
+        if d % self.epl or not 0 <= d <= self.width:
+            raise VectorizeError(
+                f"even_shift: distance {d} is not lane-aligned for "
+                f"W={self.width}, {self.epl} elems/lane"
+            )
+        if d not in self._lane:
+            lanes = self.width // self.epl
+            u = self._lane[0]
+            v = self._lane[self.width]
+            q = d // self.epl
+            selectors = tuple(range(q, q + lanes))
+            self._lane[d] = self.b.lane_concat(
+                u, v, selectors, comment=f"lane concat shift {d}"
+            )
+        return self._lane[d]
+
+    def _ps_mid(self, base: int) -> str:
+        """The shift-by-two intermediate over the lane pair at ``base``
+        (float32 lanes)."""
+        if base not in self._mid:
+            a = self.even_shift(base)
+            b_ = self.even_shift(base + self.epl)
+            self._mid[base] = self.b.shufps(
+                a, b_, _PS_SHIFT2, comment=f"ps shift {base + 2}"
+            )
+        return self._mid[base]
+
+    def shift(self, d: int) -> str:
+        """The register holding elements ``[base+d, base+d+W)``."""
+        if not 0 <= d <= self.width:
+            raise VectorizeError(
+                f"shift distance {d} outside [0, {self.width}]"
+            )
+        if d in self._shifted:
+            return self._shifted[d]
+        rem = d % self.epl
+        if rem == 0:
+            reg = self.even_shift(d)
+        elif self.epl == 2:
+            lo = self.even_shift(d - 1)
+            hi = self.even_shift(d + 1)
+            reg = self.b.shufpd(lo, hi, _odd_imm(self.width),
+                                comment=f"odd shift {d}")
+        else:  # float32 lanes: 4 elements, three sub-lane remainders
+            base = d - rem
+            if rem == 2:
+                reg = self._ps_mid(base)
+            elif rem == 1:
+                a = self.even_shift(base)
+                reg = self.b.shufps(a, self._ps_mid(base), _PS_PICK12,
+                                    comment=f"ps shift {d}")
+            else:  # rem == 3
+                b_ = self.even_shift(base + self.epl)
+                reg = self.b.shufps(self._ps_mid(base), b_, _PS_PICK12,
+                                    comment=f"ps shift {d}")
+        self._shifted[d] = reg
+        return reg
+
+
+class RowShifter:
+    """Shift access for a full row over a sliding window of aligned
+    registers at consecutive multiples of ``W``.
+
+    The classic three-register form (``prev = a[x-W]``, ``cur = a[x]``,
+    ``next = a[x+W]``) covers deltas in ``[-W, W]``; wider windows (deep
+    radii or narrow SSE registers) are built with
+    :meth:`from_window`, mapping any delta onto the adjacent aligned pair.
+    """
+
+    def __init__(self, builder: ProgramBuilder, prev: str, cur: str,
+                 next_: str) -> None:
+        w = builder.width
+        self.width = w
+        self.builder = builder
+        self._regs = {-w: prev, 0: cur, w: next_}
+        self._caches: Dict[int, ShiftCache] = {}
+
+    @classmethod
+    def from_window(cls, builder: ProgramBuilder,
+                    regs: Dict[int, str]) -> "RowShifter":
+        """A shifter over registers at aligned offsets ``{k*W: reg}``;
+        the offsets must be consecutive multiples of ``W``."""
+        w = builder.width
+        offs = sorted(regs)
+        if not offs:
+            raise VectorizeError("window needs at least one register")
+        if any(o % w for o in offs):
+            raise VectorizeError(f"window offsets {offs} must be W-aligned")
+        if any(b - a != w for a, b in zip(offs, offs[1:])):
+            raise VectorizeError(f"window offsets {offs} must be consecutive")
+        self = cls.__new__(cls)
+        self.width = w
+        self.builder = builder
+        self._regs = dict(regs)
+        self._caches = {}
+        return self
+
+    def at(self, delta: int) -> str:
+        """Register holding ``a[x+delta .. x+delta+W-1]``."""
+        w = self.width
+        if delta % w == 0 and delta in self._regs:
+            return self._regs[delta]
+        base = (delta // w) * w  # floor to the aligned pair below
+        if base not in self._regs or base + w not in self._regs:
+            lo, hi = min(self._regs), max(self._regs)
+            raise VectorizeError(
+                f"row shift {delta} outside [{lo}, {hi}]; widen the window"
+            )
+        if base not in self._caches:
+            self._caches[base] = ShiftCache(
+                self.builder, self._regs[base], self._regs[base + w]
+            )
+        return self._caches[base].shift(delta - base)
+
+
+def window_offsets(deltas, width: int) -> list:
+    """The aligned register offsets a sliding window must hold to serve
+    every delta in ``deltas``: consecutive multiples of ``W`` from the
+    floor of the minimum to one past the ceiling of the maximum."""
+    deltas = list(deltas)
+    if not deltas:
+        raise VectorizeError("window_offsets needs at least one delta")
+    lo = (min(min(deltas), 0) // width) * width
+    hi = ((max(max(deltas), 0) + width - 1) // width) * width
+    hi = max(hi, lo + width)
+    return list(range(lo, hi + width, width))

@@ -1,0 +1,23 @@
+"""Importable test helpers (kept out of conftest so tests/ and
+benchmarks/ can be collected in one pytest invocation)."""
+
+from repro.stencils import library
+from repro.stencils.grid import Grid
+
+#: all library kernels, id-friendly
+KERNELS = library.names()
+
+#: kernels exercised on the simulator path in every integration test
+SIM_KERNELS = (
+    "heat-1d", "star-1d5p", "star-1d7p", "heat-2d", "box-2d9p",
+    "star-2d9p", "heat-3d", "box-3d27p",
+)
+
+
+def small_shape(ndim: int, nx: int = 32) -> tuple:
+    """A small interior shape with the last axis vector-friendly."""
+    return (5,) * (ndim - 1) + (nx,)
+
+
+def random_grid(spec, halo, *, nx: int = 32, seed: int = 0) -> Grid:
+    return Grid.random(small_shape(spec.ndim, nx), halo, seed=seed)

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+# make sibling helper modules (and this conftest) importable from tests
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.config import (
+    AMD_EPYC_7V13,
+    GENERIC_AVX2,
+    GENERIC_AVX512,
+    GENERIC_SSE,
+    INTEL_XEON_6230R,
+)
+from repro.stencils import library
+from repro.stencils.grid import Grid
+
+from _helpers import KERNELS, SIM_KERNELS, random_grid, small_shape  # noqa: F401,E402
+
+
+@pytest.fixture
+def avx2():
+    return GENERIC_AVX2
+
+
+@pytest.fixture
+def sse():
+    return GENERIC_SSE
+
+
+@pytest.fixture
+def avx512():
+    return GENERIC_AVX512
+
+
+@pytest.fixture
+def amd():
+    return AMD_EPYC_7V13
+
+
+@pytest.fixture
+def intel():
+    return INTEL_XEON_6230R
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+

@@ -1,0 +1,193 @@
+"""Integration tests: every baseline scheme reproduces the reference on
+every library kernel, plus the Table-2 instruction accounting for the
+baselines."""
+
+import numpy as np
+import pytest
+
+from repro.config import GENERIC_AVX2, GENERIC_SSE
+from repro.errors import VectorizeError
+from repro.stencils import apply_steps, library
+from repro.stencils.grid import Grid
+from repro.stencils.spec import StencilSpec
+from repro.vectorize import (
+    generate_folding,
+    generate_multiple_loads,
+    generate_multiple_perms,
+    generate_tessellation,
+)
+from repro.vectorize.driver import measure_trace, run_program
+from repro.vectorize.folding import required_halo as folding_halo
+from repro.vectorize.multiple_perms import required_halo as perms_halo
+
+from _helpers import SIM_KERNELS
+
+GENERATORS = {
+    "auto": (generate_multiple_loads, perms_halo),
+    "reorg": (generate_multiple_perms, perms_halo),
+    "tess": (generate_tessellation, perms_halo),
+    "folding": (generate_folding, folding_halo),
+}
+
+
+def make_grid(spec, halo, nx=32, seed=0):
+    shape = (5,) * (spec.ndim - 1) + (nx,)
+    return Grid.random(shape, halo, seed=seed)
+
+
+@pytest.mark.parametrize("scheme", sorted(GENERATORS))
+@pytest.mark.parametrize("kernel", SIM_KERNELS)
+def test_scheme_matches_reference_periodic(scheme, kernel):
+    gen, halo_fn = GENERATORS[scheme]
+    spec = library.get(kernel)
+    g = make_grid(spec, halo_fn(spec, GENERIC_AVX2))
+    prog = gen(spec, GENERIC_AVX2, g)
+    got = run_program(prog, g, 3)
+    ref = apply_steps(spec, g, 3)
+    assert np.allclose(got.interior, ref.interior, rtol=1e-12, atol=1e-14)
+
+
+@pytest.mark.parametrize("scheme", ["auto", "reorg"])
+@pytest.mark.parametrize("kernel", ["heat-1d", "heat-2d", "heat-3d"])
+def test_scheme_matches_reference_dirichlet(scheme, kernel):
+    gen, halo_fn = GENERATORS[scheme]
+    spec = library.get(kernel)
+    g = make_grid(spec, halo_fn(spec, GENERIC_AVX2))
+    prog = gen(spec, GENERIC_AVX2, g)
+    got = run_program(prog, g, 2, boundary="dirichlet", value=0.5)
+    ref = apply_steps(spec, g, 2, boundary="dirichlet", value=0.5)
+    assert np.allclose(got.interior, ref.interior, rtol=1e-12, atol=1e-14)
+
+
+@pytest.mark.parametrize("kernel", ["heat-1d", "star-1d5p", "heat-2d"])
+def test_auto_and_reorg_work_on_sse(kernel):
+    spec = library.get(kernel)
+    for scheme in ("auto", "reorg"):
+        gen, halo_fn = GENERATORS[scheme]
+        g = make_grid(spec, halo_fn(spec, GENERIC_SSE))
+        prog = gen(spec, GENERIC_SSE, g)
+        got = run_program(prog, g, 2)
+        ref = apply_steps(spec, g, 2)
+        assert np.allclose(got.interior, ref.interior, rtol=1e-12)
+
+
+class TestInstructionAccounting:
+    """Body instruction mixes against the paper's Table-2 baselines."""
+
+    @pytest.mark.parametrize("kernel,loads", [
+        ("heat-1d", 3), ("star-1d5p", 5), ("heat-2d", 5), ("box-2d9p", 9),
+        ("heat-3d", 7), ("box-3d27p", 27),
+    ])
+    def test_auto_loads_equal_points(self, kernel, loads):
+        spec = library.get(kernel)
+        g = make_grid(spec, perms_halo(spec, GENERIC_AVX2))
+        mix = generate_multiple_loads(spec, GENERIC_AVX2, g).body_mix()
+        assert mix.loads == loads
+        assert mix.stores == 1
+        assert mix.shuffles == 0
+
+    @pytest.mark.parametrize("kernel,rows,cross,inlane", [
+        ("heat-1d", 1, 2, 2),
+        ("heat-2d", 3, 2, 2),
+        ("heat-3d", 5, 2, 2),
+        ("box-2d9p", 3, 6, 6),
+        ("box-3d27p", 9, 18, 18),
+    ])
+    def test_reorg_body_counts_match_paper(self, kernel, rows, cross, inlane):
+        spec = library.get(kernel)
+        g = make_grid(spec, perms_halo(spec, GENERIC_AVX2))
+        mix = generate_multiple_perms(spec, GENERIC_AVX2, g).body_mix()
+        assert mix.loads == rows
+        assert mix.cross_lane == cross
+        assert mix.in_lane == inlane
+
+    def test_reorg_star1d5p_shares_concats(self):
+        # paper bills 3 cross-lane; shared intermediates need only 2
+        spec = library.get("star-1d5p")
+        g = make_grid(spec, perms_halo(spec, GENERIC_AVX2))
+        mix = generate_multiple_perms(spec, GENERIC_AVX2, g).body_mix()
+        assert mix.cross_lane == 2
+
+    def test_folding_cross_lane_doubles_jigsaw(self):
+        # §3.1: LBV halves Folding's cross-lane count
+        from repro.core.jigsaw import generate_jigsaw
+        from repro.core.jigsaw import required_halo as jig_halo
+        spec = library.get("heat-1d")
+        gf = make_grid(spec, folding_halo(spec, GENERIC_AVX2))
+        fold = generate_folding(spec, GENERIC_AVX2, gf).per_vector_mix()
+        gj = make_grid(spec, jig_halo(spec, GENERIC_AVX2))
+        jig = generate_jigsaw(spec, GENERIC_AVX2, gj).per_vector_mix()
+        assert fold["C"] >= 2 * jig["C"]
+
+    def test_tessellation_requires_symmetry(self):
+        asym = StencilSpec("a", 1, ((-1,), (0,), (1,)), (0.1, 0.5, 0.4))
+        g = Grid.random((32,), 4, seed=0)
+        with pytest.raises(VectorizeError):
+            generate_tessellation(asym, GENERIC_AVX2, g)
+
+    def test_folding_requires_avx2_width(self):
+        spec = library.get("heat-1d")
+        g = make_grid(spec, folding_halo(spec, GENERIC_SSE))
+        with pytest.raises(VectorizeError):
+            generate_folding(spec, GENERIC_SSE, g)
+
+
+class TestGeometryValidation:
+    def test_indivisible_x_gets_scalar_epilogue(self):
+        spec = library.get("heat-1d")
+        g = Grid.random((30,), 4, seed=0)  # 30 % 4 != 0
+        prog = generate_multiple_loads(spec, GENERIC_AVX2, g)
+        assert prog.x_loop.trip_count * prog.block == 28
+        got = run_program(prog, g, 2)
+        ref = apply_steps(spec, g, 2)
+        assert np.allclose(got.interior, ref.interior, rtol=1e-12)
+
+    def test_x_shorter_than_block_rejected(self):
+        spec = library.get("heat-1d")
+        g = Grid.random((3,), 3, seed=0)
+        with pytest.raises(VectorizeError):
+            generate_multiple_loads(spec, GENERIC_AVX2, g)
+
+    def test_small_halo_rejected(self):
+        spec = library.get("heat-2d")
+        g = Grid.random((8, 32), (1, 1), seed=0)  # reorg needs x halo >= W
+        with pytest.raises(VectorizeError):
+            generate_multiple_perms(spec, GENERIC_AVX2, g)
+
+    def test_ndim_mismatch_rejected(self):
+        spec = library.get("heat-2d")
+        g = Grid.random((32,), 4, seed=0)
+        with pytest.raises(VectorizeError):
+            generate_multiple_loads(spec, GENERIC_AVX2, g)
+
+
+class TestDriver:
+    def test_steps_must_match_fusion(self):
+        from repro.core.jigsaw import generate_jigsaw, required_halo
+        spec = library.get("heat-1d")
+        g = make_grid(spec, required_halo(spec, GENERIC_AVX2, time_fusion=2))
+        prog = generate_jigsaw(spec, GENERIC_AVX2, g, time_fusion=2)
+        with pytest.raises(VectorizeError):
+            run_program(prog, g, 3)
+
+    def test_fused_dirichlet_rejected(self):
+        from repro.core.jigsaw import generate_jigsaw, required_halo
+        spec = library.get("heat-1d")
+        g = make_grid(spec, required_halo(spec, GENERIC_AVX2, time_fusion=2))
+        prog = generate_jigsaw(spec, GENERIC_AVX2, g, time_fusion=2)
+        with pytest.raises(VectorizeError):
+            run_program(prog, g, 2, boundary="dirichlet")
+
+    def test_negative_steps_rejected(self):
+        spec = library.get("heat-1d")
+        g = make_grid(spec, perms_halo(spec, GENERIC_AVX2))
+        prog = generate_multiple_loads(spec, GENERIC_AVX2, g)
+        with pytest.raises(VectorizeError):
+            run_program(prog, g, -1)
+
+    def test_measure_trace_counts_vectors(self):
+        spec = library.get("heat-1d")
+        g = make_grid(spec, perms_halo(spec, GENERIC_AVX2))
+        prog = generate_multiple_loads(spec, GENERIC_AVX2, g)
+        tc = measure_trace(prog, g)
+        assert tc.vectors == 32 // 4

@@ -1,0 +1,90 @@
+"""Unit tests for halo filling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.stencils.boundary import fill_halo
+from repro.stencils.grid import Grid
+
+
+class TestPeriodic:
+    def test_1d_wrap(self):
+        g = Grid((4,), 2)
+        g.interior[...] = [1, 2, 3, 4]
+        fill_halo(g, "periodic")
+        assert np.array_equal(g.data, [3, 4, 1, 2, 3, 4, 1, 2])
+
+    def test_2d_corners_composed(self):
+        g = Grid((3, 3), 1)
+        g.interior[...] = np.arange(9.0).reshape(3, 3)
+        fill_halo(g, "periodic")
+        # corner ghost = wrap of wrap: data[0,0] should be interior[-1,-1]
+        assert g.data[0, 0] == g.interior[-1, -1]
+        assert g.data[-1, -1] == g.interior[0, 0]
+        assert g.data[0, -1] == g.interior[-1, 0]
+
+    def test_matches_numpy_pad_wrap(self):
+        rng = np.random.default_rng(3)
+        g = Grid((5, 6), (2, 3))
+        g.interior[...] = rng.uniform(size=(5, 6))
+        fill_halo(g, "periodic")
+        expect = np.pad(g.interior, ((2, 2), (3, 3)), mode="wrap")
+        assert np.array_equal(g.data, expect)
+
+    def test_3d_matches_numpy_pad_wrap(self):
+        rng = np.random.default_rng(4)
+        g = Grid((3, 4, 5), 1)
+        g.interior[...] = rng.uniform(size=(3, 4, 5))
+        fill_halo(g, "periodic")
+        assert np.array_equal(g.data, np.pad(g.interior, 1, mode="wrap"))
+
+    def test_rejects_halo_wider_than_interior(self):
+        g = Grid((2,), 3)
+        with pytest.raises(GridError):
+            fill_halo(g, "periodic")
+
+    def test_zero_halo_noop(self):
+        g = Grid.random((4,), 0, seed=0)
+        before = g.data.copy()
+        fill_halo(g, "periodic")
+        assert np.array_equal(g.data, before)
+
+    def test_idempotent(self):
+        g = Grid.random((6, 6), 2, seed=5)
+        fill_halo(g, "periodic")
+        snap = g.data.copy()
+        fill_halo(g, "periodic")
+        assert np.array_equal(g.data, snap)
+
+
+class TestDirichlet:
+    def test_constant_ghosts(self):
+        g = Grid.random((4,), 2, seed=0)
+        fill_halo(g, "dirichlet", value=7.0)
+        assert np.all(g.data[:2] == 7.0)
+        assert np.all(g.data[-2:] == 7.0)
+
+    def test_interior_untouched(self):
+        g = Grid.random((4, 4), 1, seed=0)
+        before = g.interior.copy()
+        fill_halo(g, "dirichlet", value=-1.0)
+        assert np.array_equal(g.interior, before)
+
+    def test_2d_entire_border(self):
+        g = Grid((2, 2), 1)
+        g.interior[...] = 1.0
+        fill_halo(g, "dirichlet", value=9.0)
+        border = g.data.copy()
+        border[1:3, 1:3] = 9.0
+        assert np.all(border == 9.0)
+
+
+def test_unknown_mode_raises():
+    with pytest.raises(GridError):
+        fill_halo(Grid((4,), 1), "nope")
+
+
+def test_returns_grid():
+    g = Grid((4,), 1)
+    assert fill_halo(g) is g

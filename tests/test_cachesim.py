@@ -1,0 +1,138 @@
+"""Tests for the trace-driven cache simulator."""
+
+import pytest
+
+from repro.config import AMD_EPYC_7V13
+from repro.errors import ModelError
+from repro.machine.cachesim import (
+    LINE_BYTES,
+    CacheHierarchySim,
+    CacheLevelSim,
+    CacheStats,
+    MemoryTraceRecorder,
+    simulate_program_cache,
+)
+from repro.schemes import generate, scheme_halo
+from repro.stencils import library
+from repro.stencils.grid import Grid
+
+
+class TestCacheLevel:
+    def test_first_touch_misses_then_hits(self):
+        c = CacheLevelSim(1024)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.hits == 1 and c.misses == 1
+        assert c.hit_rate() == 0.5
+
+    def test_lru_eviction(self):
+        # 2 sets x 2 ways (4 lines of 64B = 256B, ways=2)
+        c = CacheLevelSim(256, ways=2)
+        # fill one set (same set index: addresses congruent mod sets)
+        s = c.sets
+        c.access(0)
+        c.access(s)      # same set, way 2
+        c.access(2 * s)  # evicts line 0 (LRU)
+        assert not c.access(0)  # miss: was evicted
+
+    def test_lru_order_updated_on_hit(self):
+        c = CacheLevelSim(256, ways=2)
+        s = c.sets
+        c.access(0)
+        c.access(s)
+        c.access(0)        # refresh line 0
+        c.access(2 * s)    # evicts line s, not 0
+        assert c.access(0)
+
+    def test_ways_clamped_to_capacity(self):
+        c = CacheLevelSim(64, ways=8)  # one line total
+        assert c.ways == 1
+
+    def test_bad_geometry(self):
+        with pytest.raises(ModelError):
+            CacheLevelSim(0)
+
+
+class TestHierarchy:
+    def test_miss_walks_down_and_installs(self):
+        h = CacheHierarchySim([CacheLevelSim(128, name="L1"),
+                               CacheLevelSim(4096, name="L2")])
+        h.access("a", 0, 8, False)
+        h.access("a", 0, 8, False)
+        stats = h.stats()
+        assert dict((n, (hi, mi)) for n, hi, mi in stats.levels) == {
+            "L1": (1, 1), "L2": (0, 1),
+        }
+        assert stats.dram_lines == 1
+        assert stats.unique_lines == 1
+
+    def test_vector_access_spanning_lines(self):
+        h = CacheHierarchySim([CacheLevelSim(4096, name="L1")])
+        h.access("a", LINE_BYTES - 8, 32, False)  # straddles two lines
+        assert h.stats().accesses == 2
+
+    def test_distinct_arrays_distinct_lines(self):
+        h = CacheHierarchySim([CacheLevelSim(4096, name="L1")])
+        h.access("a", 0, 8, False)
+        h.access("out", 0, 8, True)
+        assert h.stats().unique_lines == 2
+
+    def test_for_machine_uses_config_sizes(self):
+        h = CacheHierarchySim.for_machine(AMD_EPYC_7V13)
+        assert [l.name for l in h.levels] == ["L1", "L2", "L3"]
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ModelError):
+            CacheHierarchySim([])
+
+    def test_stats_hit_rate_lookup(self):
+        h = CacheHierarchySim([CacheLevelSim(4096, name="L1")])
+        h.access("a", 0, 8, False)
+        stats = h.stats()
+        assert stats.hit_rate("L1") == 0.0
+        with pytest.raises(ModelError):
+            stats.hit_rate("L9")
+
+
+class TestRecorder:
+    def test_limit_enforced(self):
+        rec = MemoryTraceRecorder(limit=2)
+        rec("a", 0, 8, False)
+        rec("a", 8, 8, False)
+        with pytest.raises(ModelError):
+            rec("a", 16, 8, False)
+
+
+class TestProgramCacheSimulation:
+    @pytest.fixture(scope="class")
+    def stats_by_scheme(self):
+        spec = library.get("box-2d9p")
+        out = {}
+        for scheme in ("auto", "reorg", "jigsaw"):
+            g = Grid.random((16, 48), scheme_halo(scheme, spec,
+                                                  AMD_EPYC_7V13), seed=1)
+            prog = generate(scheme, spec, AMD_EPYC_7V13, g)
+            out[scheme] = simulate_program_cache(prog, g, AMD_EPYC_7V13)
+        return out
+
+    def test_dram_traffic_is_compulsory(self, stats_by_scheme):
+        """The memory model's central assumption, measured: every scheme's
+        DRAM line count equals its unique-line footprint."""
+        for scheme, stats in stats_by_scheme.items():
+            assert stats.dram_lines == stats.unique_lines, scheme
+
+    def test_auto_redundant_loads_hit_l1(self, stats_by_scheme):
+        """Multiple Loads re-reads neighbours from L1, not from memory."""
+        assert stats_by_scheme["auto"].hit_rate("L1") > 0.85
+
+    def test_footprints_agree_across_schemes(self, stats_by_scheme):
+        lines = [s.unique_lines for s in stats_by_scheme.values()]
+        assert max(lines) - min(lines) <= 8  # window/prologue slack
+
+    def test_auto_issues_most_accesses(self, stats_by_scheme):
+        assert stats_by_scheme["auto"].accesses > \
+            stats_by_scheme["jigsaw"].accesses > 0
+
+    def test_summary_keys(self, stats_by_scheme):
+        s = stats_by_scheme["jigsaw"].summary()
+        assert "L1 hit rate" in s and "DRAM lines" in s

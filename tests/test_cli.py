@@ -1,0 +1,93 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+class TestCli:
+    def test_kernels(self, capsys):
+        code, out, _ = run_cli(capsys, "kernels")
+        assert code == 0
+        assert "heat-1d" in out and "box-3d27p" in out
+
+    def test_machines(self, capsys):
+        code, out, _ = run_cli(capsys, "machines")
+        assert code == 0
+        assert "amd-epyc-7v13" in out and "intel-xeon-6230r" in out
+
+    def test_inspect(self, capsys):
+        code, out, _ = run_cli(capsys, "inspect", "jigsaw", "heat-1d")
+        assert code == 0
+        assert "vperm2f128" in out
+        assert "max live registers" in out
+
+    def test_estimate(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "estimate", "t-jigsaw", "heat-2d",
+            "--size", "1000x1000", "--steps", "10",
+        )
+        assert code == 0
+        assert "GStencil/s" in out
+
+    def test_estimate_with_tile(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "estimate", "jigsaw", "heat-2d",
+            "--size", "1000x1000", "--steps", "10",
+            "--tile", "200x200", "--time-depth", "4",
+        )
+        assert code == 0
+
+    def test_tune(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "tune", "heat-1d", "--size", "65536", "--steps", "10",
+            "--top", "3",
+        )
+        assert code == 0
+        assert "Tb" in out
+
+    def test_run(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "heat-1d", "--size", "4096", "--steps", "4",
+        )
+        assert code == 0
+        assert "MStencil/s" in out
+
+    def test_experiments_subset(self, capsys):
+        code, out, _ = run_cli(capsys, "experiments", "table1")
+        assert code == 0
+        assert "vshufpd" in out
+
+    def test_unknown_kernel_reports_error(self, capsys):
+        code, _, err = run_cli(capsys, "inspect", "jigsaw", "nope")
+        assert code == 2
+        assert "error:" in err
+
+    def test_unknown_machine_reports_error(self, capsys):
+        code, _, err = run_cli(capsys, "inspect", "jigsaw", "heat-1d",
+                               "--machine", "cray-1")
+        assert code == 2
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+def test_experiments_save(tmp_path, capsys):
+    from repro.experiments.__main__ import main as exp_main
+    code = exp_main(["table1", "--save", str(tmp_path)])
+    capsys.readouterr()
+    assert code == 0
+    assert (tmp_path / "table1.txt").read_text().count("vshufpd") >= 1
+
+
+def test_validate_defaults_cover_both_dtypes():
+    from repro.validate import DEFAULT_MACHINES
+    sizes = {m.element_bytes for m in DEFAULT_MACHINES}
+    assert sizes == {4, 8}

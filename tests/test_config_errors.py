@@ -1,0 +1,106 @@
+"""Tests for machine configs and the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.config import (
+    AMD_EPYC_7V13,
+    GENERIC_AVX2,
+    GENERIC_AVX512,
+    GENERIC_SSE,
+    INTEL_XEON_6230R,
+    PAPER_MACHINES,
+    CacheLevel,
+    MachineConfig,
+    get_machine,
+    register_machine,
+)
+from repro.errors import ModelError
+
+
+class TestMachineConfig:
+    def test_simd_geometry(self):
+        assert GENERIC_SSE.vector_elems == 2 and GENERIC_SSE.lanes == 1
+        assert GENERIC_AVX2.vector_elems == 4 and GENERIC_AVX2.lanes == 2
+        assert GENERIC_AVX512.vector_elems == 8 and GENERIC_AVX512.lanes == 4
+        assert GENERIC_AVX2.elems_per_lane == 2
+        assert GENERIC_AVX2.vector_bytes == 32
+
+    def test_paper_machines_match_section41(self):
+        amd, intel = PAPER_MACHINES
+        assert amd.name == "amd-epyc-7v13"
+        assert amd.freq_ghz == 2.45 and amd.total_cores == 24
+        assert intel.freq_ghz == 2.10 and intel.total_cores == 52
+        assert intel.sockets == 2
+        assert amd.isa == intel.isa == "avx2"
+
+    def test_cache_sizes_match_section41(self):
+        assert INTEL_XEON_6230R.caches[0].size_bytes == 32 * 1024
+        assert INTEL_XEON_6230R.caches[1].size_bytes == 1024 * 1024
+        assert INTEL_XEON_6230R.caches[2].size_bytes == int(35.75 * 2**20)
+        assert AMD_EPYC_7V13.caches[2].size_bytes == 96 * 2**20
+
+    def test_with_vector_bits(self):
+        avx512 = AMD_EPYC_7V13.with_vector_bits(512)
+        assert avx512.vector_elems == 8
+        assert avx512.freq_ghz == AMD_EPYC_7V13.freq_ghz
+
+    def test_total_dram_bandwidth_by_sockets(self):
+        assert INTEL_XEON_6230R.total_dram_bandwidth(1) == \
+            INTEL_XEON_6230R.dram_bandwidth_gbs
+        assert INTEL_XEON_6230R.total_dram_bandwidth(52) == \
+            2 * INTEL_XEON_6230R.dram_bandwidth_gbs
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            MachineConfig(name="x", isa="avx2", freq_ghz=2.0,
+                          vector_bits=200, cores_per_socket=1, sockets=1)
+        with pytest.raises(ModelError):
+            MachineConfig(name="x", isa="avx2", freq_ghz=0,
+                          vector_bits=256, cores_per_socket=1, sockets=1)
+        with pytest.raises(ModelError):
+            CacheLevel("L1", 0, 100.0)
+        with pytest.raises(ModelError):
+            CacheLevel("L1", 1024, 0.0)
+
+    def test_cache_aggregate_bandwidth(self):
+        lvl = CacheLevel("L3", 1024, 10.0, shared=True,
+                         total_bandwidth_gbs=50.0)
+        assert lvl.aggregate_bandwidth(3) == 30.0
+        assert lvl.aggregate_bandwidth(10) == 50.0
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_machine("amd-epyc-7v13") is AMD_EPYC_7V13
+
+    def test_unknown(self):
+        with pytest.raises(ModelError):
+            get_machine("cray-1")
+
+    def test_register_custom(self):
+        custom = MachineConfig(
+            name="test-custom", isa="avx2", freq_ghz=1.0, vector_bits=256,
+            cores_per_socket=2, sockets=1,
+            caches=(CacheLevel("L1", 1024, 10.0),),
+        )
+        register_machine(custom)
+        assert get_machine("test-custom") is custom
+        with pytest.raises(ModelError):
+            register_machine(custom)
+        register_machine(custom, overwrite=True)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.SpecError, errors.GridError, errors.IsaError,
+        errors.MachineError, errors.VectorizeError, errors.PlanError,
+        errors.TilingError, errors.ModelError, errors.ExperimentError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SpecError("x")

@@ -1,0 +1,144 @@
+"""Tests for cost tables and the pipeline model."""
+
+import pytest
+
+from repro.config import AMD_EPYC_7V13, GENERIC_AVX2, INTEL_XEON_6230R
+from repro.errors import ModelError
+from repro.machine.costs import (
+    DEFAULT_COSTS,
+    ZEN3_COSTS,
+    CostTable,
+    OpCost,
+    cost_table_for,
+)
+from repro.machine.isa import Op
+from repro.machine.pipeline import (
+    PHASED_STALL_PENALTY,
+    PipelineModel,
+    critical_path_cycles,
+)
+from repro.schemes import model_program
+from repro.stencils import library
+
+
+class TestCostTable:
+    def test_paper_table1_values(self):
+        """The cross-lane/in-lane asymmetry of the paper's Table 1."""
+        t = DEFAULT_COSTS
+        assert t.latency(Op.PERMPD) == 3 and t.cpi(Op.PERMPD) == 1
+        assert t.latency(Op.PERM2F128) == 3 and t.cpi(Op.PERM2F128) == 1
+        assert t.latency(Op.SHUFPD) == 1 and t.cpi(Op.SHUFPD) == 0.5
+        assert t.latency(Op.PERMILPD) == 1 and t.cpi(Op.PERMILPD) == 1
+
+    def test_load_latency_seven_cycles(self):
+        """§3.1 quotes vmovupd at 7 cycles."""
+        assert DEFAULT_COSTS.latency(Op.LOAD) == 7
+
+    def test_with_cost_copy(self):
+        t2 = DEFAULT_COSTS.with_cost(Op.FMA, latency=5)
+        assert t2.latency(Op.FMA) == 5
+        assert DEFAULT_COSTS.latency(Op.FMA) == 4
+
+    def test_invalid_cost_rejected(self):
+        with pytest.raises(ModelError):
+            OpCost(latency=-1, cpi=1)
+        with pytest.raises(ModelError):
+            OpCost(latency=1, cpi=0)
+
+    def test_machine_lookup(self):
+        assert cost_table_for(INTEL_XEON_6230R) is DEFAULT_COSTS
+        assert cost_table_for(AMD_EPYC_7V13) is ZEN3_COSTS
+        assert cost_table_for(GENERIC_AVX2) is DEFAULT_COSTS
+
+    def test_missing_entry_raises(self):
+        empty = CostTable(name="empty", costs={})
+        with pytest.raises(ModelError):
+            empty.latency(Op.FMA)
+
+
+class TestCriticalPath:
+    def test_chain_accumulates_latency(self):
+        from repro.machine.isa import Instr
+        body = [
+            Instr(Op.SETZERO, dst="a"),
+            Instr(Op.ADD, dst="b", srcs=("a", "a")),
+            Instr(Op.ADD, dst="c", srcs=("b", "b")),
+        ]
+        cp = critical_path_cycles(body, DEFAULT_COSTS)
+        assert cp == pytest.approx(0.5 + 4 + 4)
+
+    def test_independent_ops_dont_chain(self):
+        from repro.machine.isa import Instr
+        body = [
+            Instr(Op.ADD, dst="a", srcs=("x", "y")),
+            Instr(Op.ADD, dst="b", srcs=("x", "y")),
+        ]
+        assert critical_path_cycles(body, DEFAULT_COSTS) == pytest.approx(4)
+
+    def test_loop_carried_inputs_start_free(self):
+        from repro.machine.isa import Instr
+        body = [Instr(Op.ADD, dst="a", srcs=("carried", "carried"))]
+        assert critical_path_cycles(body, DEFAULT_COSTS) == pytest.approx(4)
+
+
+class TestPipelineModel:
+    def test_empty_body_rejected(self):
+        prog = model_program("auto", library.get("heat-1d"), GENERIC_AVX2)
+        object.__setattr__(prog, "body", ())
+        with pytest.raises(ModelError):
+            PipelineModel(GENERIC_AVX2).estimate(prog)
+
+    def test_auto_pays_unaligned_and_stall(self):
+        pm = PipelineModel(GENERIC_AVX2)
+        prog = model_program("auto", library.get("box-2d9p"), GENERIC_AVX2)
+        est = pm.estimate(prog)
+        # 3 aligned (dx=0 column) + 6 unaligned loads at 2x throughput
+        assert est.port_cycles["load"] == pytest.approx(3 * 0.5 + 6 * 1.0)
+        assert est.stall_penalty == PHASED_STALL_PENALTY
+
+    def test_reorg_is_shuffle_heavy(self):
+        pm = PipelineModel(GENERIC_AVX2)
+        reorg_prog = model_program("reorg", library.get("box-2d9p"),
+                                   GENERIC_AVX2)
+        jig_prog = model_program("jigsaw", library.get("box-2d9p"),
+                                 GENERIC_AVX2)
+        reorg = pm.estimate(reorg_prog).port_cycles["shuffle"] \
+            / reorg_prog.vectors_per_iter
+        jig = pm.estimate(jig_prog).port_cycles["shuffle"] \
+            / jig_prog.vectors_per_iter
+        assert reorg > 2 * jig
+
+    def test_jigsaw_not_stalled(self):
+        pm = PipelineModel(GENERIC_AVX2)
+        est = pm.estimate(model_program("jigsaw", library.get("heat-2d"),
+                                        GENERIC_AVX2))
+        assert est.stall_penalty == 0.0
+
+    def test_cycles_per_vector_ordering(self):
+        """The §3 claim in model form: Jigsaw needs fewer cycles per output
+        vector than both classical baselines on every kernel."""
+        pm = PipelineModel(GENERIC_AVX2)
+        for kernel in ("heat-1d", "heat-2d", "box-2d9p", "heat-3d",
+                       "box-3d27p"):
+            spec = library.get(kernel)
+            cyc = {
+                s: pm.cycles_per_vector(model_program(s, spec, GENERIC_AVX2))
+                for s in ("auto", "reorg", "jigsaw")
+            }
+            assert cyc["jigsaw"] < cyc["auto"], kernel
+            assert cyc["jigsaw"] < cyc["reorg"], kernel
+
+    def test_folding_slower_than_jigsaw(self):
+        pm = PipelineModel(GENERIC_AVX2)
+        spec = library.get("heat-2d")
+        fold = pm.cycles_per_vector(model_program("folding", spec,
+                                                  GENERIC_AVX2))
+        jig = pm.cycles_per_vector(model_program("jigsaw", spec,
+                                                 GENERIC_AVX2))
+        assert fold > jig
+
+    def test_throughput_bound_property(self):
+        pm = PipelineModel(GENERIC_AVX2)
+        est = pm.estimate(model_program("auto", library.get("heat-1d"),
+                                        GENERIC_AVX2))
+        assert est.throughput_bound == max(est.port_cycles.values())

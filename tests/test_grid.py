@@ -1,0 +1,101 @@
+"""Unit tests for :mod:`repro.stencils.grid`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.stencils.grid import Grid
+
+
+class TestConstruction:
+    def test_data_shape_includes_halo(self):
+        g = Grid((4, 8), (1, 2))
+        assert g.data.shape == (6, 12)
+        assert g.shape == (4, 8)
+        assert g.halo == (1, 2)
+
+    def test_scalar_halo_broadcasts(self):
+        g = Grid((4, 8), 2)
+        assert g.halo == (2, 2)
+
+    def test_rejects_nonpositive_shape(self):
+        with pytest.raises(GridError):
+            Grid((0, 4), 1)
+
+    def test_rejects_negative_halo(self):
+        with pytest.raises(GridError):
+            Grid((4,), -1)
+
+    def test_rejects_halo_rank_mismatch(self):
+        with pytest.raises(GridError):
+            Grid((4, 4), (1,))
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(GridError):
+            Grid((), 1)
+
+    def test_from_array_copies(self):
+        a = np.arange(8.0)
+        g = Grid.from_array(a, 2)
+        a[0] = 99.0
+        assert g.interior[0] == 0.0
+
+    def test_random_reproducible(self):
+        g1 = Grid.random((8,), 1, seed=7)
+        g2 = Grid.random((8,), 1, seed=7)
+        assert np.array_equal(g1.interior, g2.interior)
+
+    def test_random_bounds(self):
+        g = Grid.random((64,), 0, seed=0, low=2.0, high=3.0)
+        assert g.interior.min() >= 2.0
+        assert g.interior.max() <= 3.0
+
+
+class TestViews:
+    def test_interior_is_view(self):
+        g = Grid((4,), 2)
+        g.interior[...] = 5.0
+        assert np.all(g.data[2:6] == 5.0)
+        assert np.all(g.data[:2] == 0.0)
+
+    def test_shifted_interior_reads_halo(self):
+        g = Grid((4,), 1)
+        g.data[...] = np.arange(6.0)
+        assert np.array_equal(g.shifted_interior((-1,)), [0, 1, 2, 3])
+        assert np.array_equal(g.shifted_interior((1,)), [2, 3, 4, 5])
+        assert np.array_equal(g.shifted_interior((0,)), g.interior)
+
+    def test_shifted_interior_2d(self):
+        g = Grid((2, 2), 1)
+        g.data[...] = np.arange(16.0).reshape(4, 4)
+        assert np.array_equal(g.shifted_interior((-1, 1)),
+                              [[2, 3], [6, 7]])
+
+    def test_shifted_interior_rejects_beyond_halo(self):
+        g = Grid((4,), 1)
+        with pytest.raises(GridError):
+            g.shifted_interior((2,))
+
+    def test_shifted_interior_rejects_rank_mismatch(self):
+        g = Grid((4, 4), 1)
+        with pytest.raises(GridError):
+            g.shifted_interior((1,))
+
+
+class TestMisc:
+    def test_like_is_zeroed_same_geometry(self):
+        g = Grid.random((4, 4), 1, seed=0)
+        h = g.like()
+        assert h.shape == g.shape and h.halo == g.halo
+        assert np.all(h.data == 0.0)
+
+    def test_copy_independent(self):
+        g = Grid.random((4,), 1, seed=0)
+        h = g.copy()
+        h.interior[0] = -1.0
+        assert g.interior[0] != -1.0
+
+    def test_npoints_and_nbytes(self):
+        g = Grid((4, 8), 1)
+        assert g.npoints() == 32
+        assert g.nbytes() == 6 * 10 * 8

@@ -1,0 +1,259 @@
+"""Unit tests for the ISA semantics — hand-checked against the Intel
+AVX/AVX2 instruction definitions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IsaError
+from repro.machine.isa import (
+    Affine,
+    Instr,
+    InstrClass,
+    MemRef,
+    Op,
+    classify,
+    execute_alu,
+)
+
+
+def vec(*xs):
+    return np.array(xs, dtype=np.float64)
+
+
+def run(instr, width=4, **regs):
+    regs = {k: vec(*v) for k, v in regs.items()}
+    execute_alu(instr, regs, width)
+    return regs[instr.dst]
+
+
+class TestAffine:
+    def test_evaluate(self):
+        a = Affine.of(3, x=2, y=-1)
+        assert a.evaluate({"x": 5, "y": 4}) == 9
+
+    def test_var_and_shift(self):
+        a = Affine.var("x").shift(4)
+        assert a.evaluate({"x": 10}) == 14
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(IsaError):
+            Affine.var("x").evaluate({})
+
+    def test_zero_coeffs_dropped(self):
+        assert Affine.of(1, x=0) == Affine.of(1)
+
+    def test_memref_evaluate(self):
+        m = MemRef("a", (Affine.var("y"), Affine.var("x", const=2)))
+        assert m.evaluate({"y": 3, "x": 5}) == (3, 7)
+
+
+class TestInstrValidation:
+    def test_load_needs_mem(self):
+        with pytest.raises(IsaError):
+            Instr(Op.LOAD, dst="v")
+
+    def test_store_has_no_dst(self):
+        m = MemRef("a", (Affine.of(0),))
+        with pytest.raises(IsaError):
+            Instr(Op.STORE, dst="v", srcs=("v",), mem=m)
+
+    def test_alu_rejects_mem(self):
+        m = MemRef("a", (Affine.of(0),))
+        with pytest.raises(IsaError):
+            Instr(Op.ADD, dst="d", srcs=("a", "b"), mem=m)
+
+    def test_source_arity_checked(self):
+        with pytest.raises(IsaError):
+            Instr(Op.FMA, dst="d", srcs=("a", "b"))
+
+    def test_broadcast_requires_scalar_imm(self):
+        with pytest.raises(IsaError):
+            Instr(Op.BROADCAST, dst="d", imm=(1, 2))
+
+    def test_dst_required(self):
+        with pytest.raises(IsaError):
+            Instr(Op.ADD, srcs=("a", "b"))
+
+
+class TestShufpd:
+    """vshufpd ymm semantics: element 2k from src1 (low/high of lane k by
+    imm bit 2k), element 2k+1 from src2 (imm bit 2k+1)."""
+
+    def test_imm_zero_interleaves_lows(self):
+        out = run(Instr(Op.SHUFPD, dst="d", srcs=("a", "b"), imm=0b0000),
+                  a=(0, 1, 2, 3), b=(4, 5, 6, 7))
+        assert np.array_equal(out, [0, 4, 2, 6])
+
+    def test_imm_ones_interleaves_highs(self):
+        out = run(Instr(Op.SHUFPD, dst="d", srcs=("a", "b"), imm=0b1111),
+                  a=(0, 1, 2, 3), b=(4, 5, 6, 7))
+        assert np.array_equal(out, [1, 5, 3, 7])
+
+    def test_mixed_mask(self):
+        # imm=0b0101: e0 = a[1], e1 = b[0], e2 = a[3], e3 = b[2]
+        out = run(Instr(Op.SHUFPD, dst="d", srcs=("a", "b"), imm=0b0101),
+                  a=(0, 1, 2, 3), b=(4, 5, 6, 7))
+        assert np.array_equal(out, [1, 4, 3, 6])
+
+    def test_intel_manual_example(self):
+        # vshufpd with same source twice swaps within lanes for imm 0b0101
+        out = run(Instr(Op.SHUFPD, dst="d", srcs=("a", "a"), imm=0b0101),
+                  a=(10, 11, 12, 13))
+        assert np.array_equal(out, [11, 10, 13, 12])
+
+    def test_width8(self):
+        out = run(Instr(Op.SHUFPD, dst="d", srcs=("a", "b"), imm=0),
+                  width=8, a=tuple(range(8)), b=tuple(range(8, 16)))
+        assert np.array_equal(out, [0, 8, 2, 10, 4, 12, 6, 14])
+
+    def test_imm_out_of_range(self):
+        with pytest.raises(IsaError):
+            run(Instr(Op.SHUFPD, dst="d", srcs=("a", "b"), imm=16),
+                a=(0, 1, 2, 3), b=(4, 5, 6, 7))
+
+    def test_imm_must_be_int(self):
+        with pytest.raises(IsaError):
+            run(Instr(Op.SHUFPD, dst="d", srcs=("a", "b"), imm=(0, 1)),
+                a=(0, 1, 2, 3), b=(4, 5, 6, 7))
+
+
+class TestPermilpd:
+    def test_swap_within_each_lane(self):
+        out = run(Instr(Op.PERMILPD, dst="d", srcs=("a",), imm=0b0110),
+                  a=(0, 1, 2, 3))
+        # e0: bit0=0 -> a[0]; e1: bit1=1 -> a[1]; e2: bit2=1 -> a[3];
+        # e3: bit3=0 -> a[2]
+        assert np.array_equal(out, [0, 1, 3, 2])
+
+    def test_duplicate_lows(self):
+        out = run(Instr(Op.PERMILPD, dst="d", srcs=("a",), imm=0b0000),
+                  a=(0, 1, 2, 3))
+        assert np.array_equal(out, [0, 0, 2, 2])
+
+    def test_bad_imm(self):
+        with pytest.raises(IsaError):
+            run(Instr(Op.PERMILPD, dst="d", srcs=("a",), imm=-1),
+                a=(0, 1, 2, 3))
+
+
+class TestPerm2f128:
+    def test_lane_concat_middle(self):
+        # selectors (1, 2): dst lane0 = src1.lane1, lane1 = src2.lane0 —
+        # the vperm2f128 imm 0x21 idiom
+        out = run(Instr(Op.PERM2F128, dst="d", srcs=("a", "b"), imm=(1, 2)),
+                  a=(0, 1, 2, 3), b=(4, 5, 6, 7))
+        assert np.array_equal(out, [2, 3, 4, 5])
+
+    def test_swap_lanes_single_source(self):
+        out = run(Instr(Op.PERM2F128, dst="d", srcs=("a", "a"), imm=(1, 0)),
+                  a=(0, 1, 2, 3))
+        assert np.array_equal(out, [2, 3, 0, 1])
+
+    def test_zero_lane(self):
+        out = run(Instr(Op.PERM2F128, dst="d", srcs=("a", "b"),
+                        imm=(None, 3)),
+                  a=(0, 1, 2, 3), b=(4, 5, 6, 7))
+        assert np.array_equal(out, [0, 0, 6, 7])
+
+    def test_width8_four_lanes(self):
+        out = run(Instr(Op.PERM2F128, dst="d", srcs=("a", "b"),
+                        imm=(1, 2, 3, 4)),
+                  width=8, a=tuple(range(8)), b=tuple(range(8, 16)))
+        assert np.array_equal(out, [2, 3, 4, 5, 6, 7, 8, 9])
+
+    def test_selector_out_of_range(self):
+        with pytest.raises(IsaError):
+            run(Instr(Op.PERM2F128, dst="d", srcs=("a", "b"), imm=(4, 0)),
+                a=(0, 1, 2, 3), b=(4, 5, 6, 7))
+
+    def test_wrong_arity_imm(self):
+        with pytest.raises(IsaError):
+            run(Instr(Op.PERM2F128, dst="d", srcs=("a", "b"), imm=(1,)),
+                a=(0, 1, 2, 3), b=(4, 5, 6, 7))
+
+
+class TestPermpd:
+    def test_arbitrary_permutation(self):
+        out = run(Instr(Op.PERMPD, dst="d", srcs=("a",), imm=(3, 0, 2, 1)),
+                  a=(10, 11, 12, 13))
+        assert np.array_equal(out, [13, 10, 12, 11])
+
+    def test_broadcast_element(self):
+        out = run(Instr(Op.PERMPD, dst="d", srcs=("a",), imm=(2, 2, 2, 2)),
+                  a=(10, 11, 12, 13))
+        assert np.array_equal(out, [12, 12, 12, 12])
+
+    def test_result_is_copy(self):
+        regs = {"a": vec(1, 2, 3, 4)}
+        execute_alu(Instr(Op.PERMPD, dst="d", srcs=("a",),
+                          imm=(0, 1, 2, 3)), regs, 4)
+        regs["d"][0] = 99
+        assert regs["a"][0] == 1
+
+    def test_bad_selector(self):
+        with pytest.raises(IsaError):
+            run(Instr(Op.PERMPD, dst="d", srcs=("a",), imm=(0, 1, 2, 4)),
+                a=(1, 2, 3, 4))
+
+
+class TestArithmetic:
+    def test_add_sub_mul(self):
+        a, b = (1, 2, 3, 4), (10, 20, 30, 40)
+        assert np.array_equal(
+            run(Instr(Op.ADD, dst="d", srcs=("a", "b")), a=a, b=b),
+            [11, 22, 33, 44])
+        assert np.array_equal(
+            run(Instr(Op.SUB, dst="d", srcs=("b", "a")), a=a, b=b),
+            [9, 18, 27, 36])
+        assert np.array_equal(
+            run(Instr(Op.MUL, dst="d", srcs=("a", "b")), a=a, b=b),
+            [10, 40, 90, 160])
+
+    def test_fma(self):
+        out = run(Instr(Op.FMA, dst="d", srcs=("a", "b", "c")),
+                  a=(1, 2, 3, 4), b=(2, 2, 2, 2), c=(1, 1, 1, 1))
+        assert np.array_equal(out, [3, 5, 7, 9])
+
+    def test_broadcast(self):
+        out = run(Instr(Op.BROADCAST, dst="d", imm=2.5))
+        assert np.array_equal(out, [2.5] * 4)
+
+    def test_setzero(self):
+        out = run(Instr(Op.SETZERO, dst="d"))
+        assert np.array_equal(out, [0, 0, 0, 0])
+
+    def test_mov_copies(self):
+        regs = {"a": vec(1, 2, 3, 4)}
+        execute_alu(Instr(Op.MOV, dst="d", srcs=("a",)), regs, 4)
+        regs["a"][0] = 5
+        assert regs["d"][0] == 1
+
+    def test_undefined_register_raises(self):
+        with pytest.raises(IsaError):
+            execute_alu(Instr(Op.ADD, dst="d", srcs=("x", "y")), {}, 4)
+
+    def test_width_mismatch_raises(self):
+        regs = {"a": vec(1, 2), "b": vec(1, 2)}
+        with pytest.raises(IsaError):
+            execute_alu(Instr(Op.ADD, dst="d", srcs=("a", "b")), regs, 4)
+
+
+class TestClassification:
+    @pytest.mark.parametrize("op,klass", [
+        (Op.LOAD, InstrClass.LOAD),
+        (Op.STORE, InstrClass.STORE),
+        (Op.SHUFPD, InstrClass.IN_LANE),
+        (Op.PERMILPD, InstrClass.IN_LANE),
+        (Op.PERM2F128, InstrClass.CROSS_LANE),
+        (Op.PERMPD, InstrClass.CROSS_LANE),
+        (Op.FMA, InstrClass.ARITH),
+        (Op.ADD, InstrClass.ARITH),
+        (Op.MOV, InstrClass.OTHER),
+        (Op.BROADCAST, InstrClass.OTHER),
+    ])
+    def test_class_of(self, op, klass):
+        assert classify(op) is klass
+
+    def test_every_op_classified(self):
+        for op in Op:
+            assert classify(op) in InstrClass

@@ -1,0 +1,128 @@
+"""Unit tests for Iteration-based Temporal Merging."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.core.itm import (
+    arithmetic_growth,
+    convolution_power,
+    fusable,
+    merged_spec,
+    traffic_reduction,
+)
+from repro.stencils import apply_steps, library
+from repro.stencils.grid import Grid
+from repro.stencils.reference import fill_halo  # re-exported? use boundary
+from repro.stencils.spec import StencilSpec
+
+
+class TestConvolutionPower:
+    def test_power_one_identity(self):
+        c = np.array([0.25, 0.5, 0.25])
+        assert np.array_equal(convolution_power(c, 1), c)
+
+    def test_1d3p_squared_matches_figure6_structure(self):
+        """(1/4, 1/2, 1/4)^2 -> 5 taps (binomial over 4 halvings)."""
+        c = np.array([0.25, 0.5, 0.25])
+        sq = convolution_power(c, 2)
+        assert np.allclose(sq, [1, 4, 6, 4, 1] / np.array(16.0))
+
+    def test_figure6_three_step_coefficients(self):
+        """Figure 6: 3-step fusion of 1D3P with coefficients (a2, a1, a2)
+        gives beta weights: b1 = a1^3 + 6 a1 a2^2, b2 = 3 a1^2 a2 + 3 a2^3,
+        b3 = 3 a1 a2^2, b4 = a2^3."""
+        a1, a2 = 0.5, 0.25
+        c = np.array([a2, a1, a2])
+        cube = convolution_power(c, 3)
+        assert cube.shape == (7,)
+        assert cube[3] == pytest.approx(a1**3 + 6 * a1 * a2**2)  # beta1
+        assert cube[2] == pytest.approx(3 * a1**2 * a2 + 3 * a2**3)  # beta2
+        assert cube[1] == pytest.approx(3 * a1 * a2**2)  # beta3
+        assert cube[0] == pytest.approx(a2**3)  # beta4
+
+    def test_2d5p_squared_is_13_points(self):
+        """Figure 5: ITM turns the 2D5P stencil into a 2D13P stencil."""
+        spec = library.get("heat-2d")
+        fused = merged_spec(spec, 2)
+        assert fused.tag == "2D13P"
+
+    def test_rejects_zero_power(self):
+        with pytest.raises(PlanError):
+            convolution_power(np.ones(3), 0)
+
+    def test_power_associativity(self):
+        c = np.array([0.1, 0.8, 0.1])
+        p4 = convolution_power(c, 4)
+        p22 = convolution_power(convolution_power(c, 2), 2)
+        assert np.allclose(p4, p22)
+
+
+class TestMergedSpec:
+    def test_steps_one_returns_same(self):
+        spec = library.get("heat-1d")
+        assert merged_spec(spec, 1) is spec
+
+    @pytest.mark.parametrize("kernel", ["heat-1d", "heat-2d", "box-2d9p",
+                                        "heat-3d"])
+    @pytest.mark.parametrize("s", [2, 3])
+    def test_radius_scales(self, kernel, s):
+        spec = library.get(kernel)
+        fused = merged_spec(spec, s)
+        assert fused.radius == tuple(r * s for r in spec.radius)
+
+    @pytest.mark.parametrize("kernel", ["heat-1d", "heat-2d", "box-2d9p"])
+    def test_symmetry_preserved(self, kernel):
+        assert merged_spec(library.get(kernel), 2).is_symmetric
+
+    def test_coefficient_sum_preserved(self):
+        fused = merged_spec(library.get("box-2d9p"), 3)
+        assert fused.coefficient_sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("kernel", ["heat-1d", "heat-2d", "heat-3d",
+                                        "box-2d9p", "star-1d5p"])
+    @pytest.mark.parametrize("s", [2, 3])
+    def test_fusion_law(self, kernel, s):
+        """One fused sweep == s base sweeps (periodic)."""
+        spec = library.get(kernel)
+        fused = merged_spec(spec, s)
+        g = Grid.random((8,) * (spec.ndim - 1) + (16,), fused.radius, seed=s)
+        one_fused = apply_steps(fused, g, 1)
+        s_base = apply_steps(spec, g, s)
+        assert np.allclose(one_fused.interior, s_base.interior, rtol=1e-12)
+
+    def test_asymmetric_kernel_fusion_law(self):
+        spec = StencilSpec("adv", 1, ((-1,), (0,), (1,)), (0.6, 0.3, 0.1))
+        fused = merged_spec(spec, 2)
+        g = Grid.random((16,), fused.radius, seed=9)
+        assert np.allclose(
+            apply_steps(fused, g, 1).interior,
+            apply_steps(spec, g, 2).interior,
+            rtol=1e-12,
+        )
+
+
+class TestPolicyHelpers:
+    def test_fusable_width_bound(self):
+        spec = library.get("star-1d5p")  # r=2
+        assert fusable(spec, 2, width=4)
+        assert not fusable(spec, 3, width=4)
+        assert fusable(spec, 4, width=8)
+
+    def test_fusable_rejects_nonpositive(self):
+        assert not fusable(library.get("heat-1d"), 0, width=4)
+
+    def test_traffic_reduction(self):
+        assert traffic_reduction(library.get("heat-1d"), 4) == pytest.approx(0.25)
+        with pytest.raises(PlanError):
+            traffic_reduction(library.get("heat-1d"), 0)
+
+    def test_arithmetic_growth_1d(self):
+        """3-step 1D3P: 7 fused points vs 9 base applications -> < 1."""
+        g = arithmetic_growth(library.get("heat-1d"), 3)
+        assert g == pytest.approx(7 / 9)
+
+    def test_arithmetic_growth_3d_box_exceeds_one(self):
+        """The §4.3 effect: fusing the 3-D box grows the work."""
+        g = arithmetic_growth(library.get("box-3d27p"), 2)
+        assert g > 1.0

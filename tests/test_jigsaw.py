@@ -1,0 +1,191 @@
+"""Integration tests for the full Jigsaw generator and planner."""
+
+import numpy as np
+import pytest
+
+from repro.config import GENERIC_AVX2, GENERIC_AVX512, GENERIC_SSE
+from repro.errors import PlanError, VectorizeError
+from repro.core.jigsaw import generate_jigsaw, required_halo
+from repro.core.planner import JigsawPlan, ablation_ladder, auto_fusion, plan
+from repro.core.sdf import rows_as_terms
+from repro.stencils import apply_steps, library
+from repro.stencils.grid import Grid
+from repro.vectorize.driver import run_program
+from repro.vectorize.multiple_perms import generate_multiple_perms
+from repro.vectorize.multiple_perms import required_halo as perms_halo
+
+from _helpers import SIM_KERNELS
+
+
+def jig_grid(spec, machine, fusion=1, nx=32, seed=0):
+    shape = (5,) * (spec.ndim - 1) + (nx,)
+    return Grid.random(shape, required_halo(spec, machine,
+                                            time_fusion=fusion), seed=seed)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("kernel", SIM_KERNELS)
+    def test_jigsaw_matches_reference(self, kernel):
+        spec = library.get(kernel)
+        g = jig_grid(spec, GENERIC_AVX2)
+        prog = generate_jigsaw(spec, GENERIC_AVX2, g)
+        got = run_program(prog, g, 3)
+        ref = apply_steps(spec, g, 3)
+        assert np.allclose(got.interior, ref.interior, rtol=1e-12, atol=1e-14)
+
+    @pytest.mark.parametrize("kernel", ["heat-1d", "heat-2d", "box-2d9p",
+                                        "heat-3d", "star-2d9p"])
+    def test_t_jigsaw_two_step(self, kernel):
+        spec = library.get(kernel)
+        g = jig_grid(spec, GENERIC_AVX2, fusion=2)
+        prog = generate_jigsaw(spec, GENERIC_AVX2, g, time_fusion=2)
+        got = run_program(prog, g, 4)
+        ref = apply_steps(spec, g, 4)
+        assert np.allclose(got.interior, ref.interior, rtol=1e-12, atol=1e-14)
+
+    def test_t4_jigsaw_heat1d(self):
+        spec = library.get("heat-1d")
+        g = jig_grid(spec, GENERIC_AVX2, fusion=4, nx=64)
+        prog = generate_jigsaw(spec, GENERIC_AVX2, g, time_fusion=4)
+        got = run_program(prog, g, 8)
+        ref = apply_steps(spec, g, 8)
+        assert np.allclose(got.interior, ref.interior, rtol=1e-12, atol=1e-14)
+
+    @pytest.mark.parametrize("kernel", ["heat-1d", "heat-2d", "box-2d9p"])
+    def test_lbv_only_ablation_variant(self, kernel):
+        spec = library.get(kernel)
+        g = jig_grid(spec, GENERIC_AVX2)
+        prog = generate_jigsaw(spec, GENERIC_AVX2, g,
+                               terms=rows_as_terms(spec),
+                               scheme="jigsaw-lbv-only")
+        got = run_program(prog, g, 2)
+        ref = apply_steps(spec, g, 2)
+        assert np.allclose(got.interior, ref.interior, rtol=1e-12)
+
+    @pytest.mark.parametrize("machine", [GENERIC_SSE, GENERIC_AVX512],
+                             ids=lambda m: m.name)
+    @pytest.mark.parametrize("kernel", ["heat-1d", "heat-2d", "box-2d9p"])
+    def test_other_vector_widths(self, machine, kernel):
+        spec = library.get(kernel)
+        nx = 6 * machine.vector_elems
+        g = jig_grid(spec, machine, nx=nx)
+        prog = generate_jigsaw(spec, machine, g)
+        got = run_program(prog, g, 2)
+        ref = apply_steps(spec, g, 2)
+        assert np.allclose(got.interior, ref.interior, rtol=1e-12)
+
+    def test_dirichlet_unfused(self):
+        spec = library.get("heat-2d")
+        g = jig_grid(spec, GENERIC_AVX2)
+        prog = generate_jigsaw(spec, GENERIC_AVX2, g)
+        got = run_program(prog, g, 2, boundary="dirichlet", value=1.0)
+        ref = apply_steps(spec, g, 2, boundary="dirichlet", value=1.0)
+        assert np.allclose(got.interior, ref.interior, rtol=1e-12)
+
+
+class TestInstructionBudget:
+    @pytest.mark.parametrize("kernel", ["heat-2d", "box-2d9p", "heat-3d"])
+    def test_jigsaw_shuffles_below_reorg(self, kernel):
+        spec = library.get(kernel)
+        gj = jig_grid(spec, GENERIC_AVX2)
+        jig = generate_jigsaw(spec, GENERIC_AVX2, gj).per_vector_mix()
+        gr = Grid.random((5,) * (spec.ndim - 1) + (32,),
+                         perms_halo(spec, GENERIC_AVX2), seed=0)
+        reorg = generate_multiple_perms(spec, GENERIC_AVX2, gr).per_vector_mix()
+        assert jig["C"] <= reorg["C"]
+
+    def test_box2d9p_loads_equal_rows_amortized(self):
+        spec = library.get("box-2d9p")
+        g = jig_grid(spec, GENERIC_AVX2)
+        mix = generate_jigsaw(spec, GENERIC_AVX2, g).body_mix()
+        # 3 rows, each loaded at 2 fresh offsets per 2-vector block
+        assert mix.loads == 6
+
+    def test_direct_term_adds_no_shuffles(self):
+        """The residualized centre column contributes zero shuffles: the
+        star kernel's butterfly shuffle count equals the 1-row case."""
+        spec2d = library.get("heat-2d")
+        g2 = jig_grid(spec2d, GENERIC_AVX2)
+        mix2 = generate_jigsaw(spec2d, GENERIC_AVX2, g2).body_mix()
+        spec1d = library.get("heat-1d")
+        g1 = jig_grid(spec1d, GENERIC_AVX2)
+        mix1 = generate_jigsaw(spec1d, GENERIC_AVX2, g1).body_mix()
+        assert mix2.cross_lane == mix1.cross_lane
+
+    def test_t_jigsaw_halves_stores_per_step(self):
+        spec = library.get("heat-1d")
+        g1 = jig_grid(spec, GENERIC_AVX2)
+        g2 = jig_grid(spec, GENERIC_AVX2, fusion=2)
+        s1 = generate_jigsaw(spec, GENERIC_AVX2, g1).per_vector_mix()["S"]
+        s2 = generate_jigsaw(spec, GENERIC_AVX2, g2,
+                             time_fusion=2).per_vector_mix()["S"]
+        assert s2 == pytest.approx(s1 / 2)
+
+
+class TestPlanner:
+    def test_auto_fusion_policies(self):
+        m = GENERIC_AVX2
+        assert auto_fusion(library.get("heat-1d"), m) == 2
+        assert auto_fusion(library.get("heat-2d"), m) == 2
+        assert auto_fusion(library.get("box-3d27p"), m) == 1  # §4.3
+        assert auto_fusion(library.get("star-1d7p"), m) == 1  # r=3: 2*3 > 4
+
+    def test_plan_validates_fusion_feasibility(self):
+        with pytest.raises(PlanError):
+            plan(library.get("star-1d5p"), GENERIC_AVX2, time_fusion=4)
+
+    def test_plan_rejects_nonpositive_fusion(self):
+        with pytest.raises(PlanError):
+            plan(library.get("heat-1d"), GENERIC_AVX2, time_fusion=0)
+
+    def test_plan_scheme_names(self):
+        m = GENERIC_AVX2
+        assert plan(library.get("heat-1d"), m, time_fusion=1).scheme == "jigsaw"
+        assert plan(library.get("heat-1d"), m, time_fusion=2).scheme == "t-jigsaw"
+        p = plan(library.get("heat-1d"), m, time_fusion=1, use_sdf=False)
+        assert "lbv" in p.scheme
+
+    def test_ablation_ladder_order(self):
+        rungs = ablation_ladder(library.get("box-2d9p"), GENERIC_AVX2)
+        names = [name for name, _ in rungs]
+        assert names == ["base", "+LBV", "+SDF", "+ITM"]
+        assert rungs[0][1] is None
+        assert rungs[1][1].use_sdf is False
+        assert rungs[3][1].time_fusion == 2
+
+    def test_plan_describe(self):
+        p = plan(library.get("heat-2d"), GENERIC_AVX2, time_fusion=2)
+        text = p.describe()
+        assert "2D13P" in text
+
+    def test_jigsaw_plan_rejects_bad_fusion(self):
+        with pytest.raises(PlanError):
+            JigsawPlan(spec=library.get("heat-1d"), machine=GENERIC_AVX2,
+                       time_fusion=0)
+
+
+class TestGeometry:
+    def test_required_halo_covers_fused_radius(self):
+        spec = library.get("heat-2d")
+        halo = required_halo(spec, GENERIC_AVX2, time_fusion=2)
+        assert halo[0] == 2
+        assert halo[1] >= 8
+
+    def test_block_is_two_vectors(self):
+        spec = library.get("heat-1d")
+        g = jig_grid(spec, GENERIC_AVX2)
+        assert generate_jigsaw(spec, GENERIC_AVX2, g).block == 8
+
+    def test_indivisible_x_gets_scalar_epilogue(self):
+        spec = library.get("heat-1d")
+        g = Grid.random((28,), 8, seed=0)  # 28 % 8 != 0
+        prog = generate_jigsaw(spec, GENERIC_AVX2, g, time_fusion=2)
+        got = run_program(prog, g, 4)
+        ref = apply_steps(spec, g, 4)
+        assert np.allclose(got.interior, ref.interior, rtol=1e-12)
+
+    def test_epilogue_uses_fused_spec(self):
+        spec = library.get("heat-1d")
+        g = Grid.random((28,), 8, seed=0)
+        prog = generate_jigsaw(spec, GENERIC_AVX2, g, time_fusion=2)
+        assert prog.tail_spec.tag == "1D5P"  # the fused operator

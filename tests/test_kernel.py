@@ -1,0 +1,96 @@
+"""Tests for the CompiledKernel public API."""
+
+import numpy as np
+import pytest
+
+from repro.config import GENERIC_AVX2
+from repro.errors import VectorizeError
+from repro.core import compile_kernel
+from repro.stencils import apply_steps, library
+from repro.stencils.grid import Grid
+
+from _helpers import SIM_KERNELS
+
+
+def make_kernel(kernel, nx=32, fusion="auto"):
+    spec = library.get(kernel)
+    shape = (6,) * (spec.ndim - 1) + (nx,)
+    k0 = compile_kernel(spec, GENERIC_AVX2, Grid(shape, 16),
+                        time_fusion=fusion)
+    g = k0.grid_like(shape, seed=7)
+    return compile_kernel(spec, GENERIC_AVX2, g, time_fusion=fusion), g
+
+
+@pytest.mark.parametrize("kernel", SIM_KERNELS)
+def test_sim_and_numpy_paths_agree_with_reference(kernel):
+    k, g = make_kernel(kernel)
+    steps = 2 * k.plan.time_fusion
+    ref = apply_steps(k.plan.spec, g, steps)
+    sim = k.run(g, steps)
+    fast = k.run_numpy(g, steps)
+    assert np.allclose(sim.interior, ref.interior, rtol=1e-12, atol=1e-14)
+    assert np.allclose(fast.interior, ref.interior, rtol=1e-12, atol=1e-14)
+
+
+def test_numpy_path_large_grid():
+    spec = library.get("box-2d9p")
+    k0 = compile_kernel(spec, GENERIC_AVX2, Grid((128, 128), 8))
+    g = k0.grid_like((128, 128), seed=3)
+    k = compile_kernel(spec, GENERIC_AVX2, g)
+    steps = 2 * k.plan.time_fusion
+    fast = k.run_numpy(g, steps)
+    ref = apply_steps(spec, g, steps)
+    assert np.allclose(fast.interior, ref.interior, rtol=1e-12)
+
+
+def test_numpy_rejects_unaligned_steps():
+    k, g = make_kernel("heat-1d", fusion=2)
+    with pytest.raises(VectorizeError):
+        k.run_numpy(g, 3)
+
+
+def test_numpy_rejects_fused_dirichlet():
+    k, g = make_kernel("heat-1d", fusion=2)
+    with pytest.raises(VectorizeError):
+        k.run_numpy(g, 2, boundary="dirichlet")
+
+
+def test_numpy_dirichlet_unfused():
+    k, g = make_kernel("heat-2d", fusion=1)
+    got = k.run_numpy(g, 2, boundary="dirichlet", value=0.25)
+    ref = apply_steps(k.plan.spec, g, 2, boundary="dirichlet", value=0.25)
+    assert np.allclose(got.interior, ref.interior, rtol=1e-12)
+
+
+def test_geometry_mismatch_rejected():
+    k, g = make_kernel("heat-1d")
+    other = Grid.random((64,), g.halo, seed=0)
+    with pytest.raises(VectorizeError):
+        k.run(other, 2)
+
+
+def test_program_cached():
+    k, _ = make_kernel("heat-1d")
+    assert k.program is k.program
+
+
+def test_trace_and_mix():
+    k, g = make_kernel("heat-1d")
+    tc = k.trace(g)
+    assert tc.vectors > 0
+    pv = k.per_vector_mix()
+    assert set(pv) == {"L", "S", "C", "I", "A"}
+
+
+def test_kernel_cost_and_estimate():
+    k, _ = make_kernel("heat-2d")
+    cost = k.kernel_cost()
+    assert cost.scheme.startswith("t-jigsaw") or cost.scheme == "jigsaw"
+    res = k.estimate(points=10**6, steps=10)
+    assert res.gstencil_s > 0
+    assert res.bottleneck in ("compute", "memory")
+
+
+def test_grid_like_has_kernel_halo():
+    k, g = make_kernel("heat-3d")
+    assert g.halo == k.halo()

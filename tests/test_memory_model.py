@@ -1,0 +1,118 @@
+"""Tests for the cache-hierarchy/bandwidth model."""
+
+import pytest
+
+from repro.config import AMD_EPYC_7V13, GENERIC_AVX2, INTEL_XEON_6230R
+from repro.errors import ModelError
+from repro.machine.memory import (
+    PER_CORE_DRAM_SHARE,
+    WRITE_ALLOCATE_FACTOR,
+    CacheHierarchyModel,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+
+@pytest.fixture
+def model():
+    return CacheHierarchyModel(GENERIC_AVX2)
+
+
+class TestFeedingLevel:
+    def test_tiers(self, model):
+        assert model.feeding_level(16 * KB).name == "L1"
+        assert model.feeding_level(256 * KB).name == "L2"
+        assert model.feeding_level(4 * MB).name == "L3"
+        assert model.feeding_level(64 * MB) is None  # DRAM
+
+    def test_global_working_set_divided_among_cores(self, model):
+        # 128 KB / 8 cores = 16 KB per core -> L1
+        assert model.feeding_level(128 * KB, cores=8).name == "L1"
+        assert model.feeding_level(128 * KB, cores=1).name == "L2"
+
+    def test_per_core_tiles_multiply_for_shared_levels(self, model):
+        # 4 MB per-core tile x 8 cores = 32 MB > 16 MB L3 -> DRAM
+        assert model.feeding_level(4 * MB, cores=8, per_core=True) is None
+        assert model.feeding_level(4 * MB, cores=1, per_core=True).name == "L3"
+
+    def test_rejects_nonpositive(self, model):
+        with pytest.raises(ModelError):
+            model.feeding_level(0)
+        with pytest.raises(ModelError):
+            model.feeding_level(1024, cores=0)
+
+
+class TestBandwidth:
+    def test_private_levels_scale_linearly(self, model):
+        l1 = model.feeding_level(16 * KB)
+        assert model.bandwidth(l1, 4) == pytest.approx(4 * l1.bandwidth_gbs)
+
+    def test_shared_level_capped(self, model):
+        l3 = model.feeding_level(4 * MB)
+        assert model.bandwidth(l3, 8) == pytest.approx(
+            min(8 * l3.bandwidth_gbs, l3.total_bandwidth_gbs))
+
+    def test_single_core_dram_share(self, model):
+        bw1 = model.bandwidth(None, 1)
+        assert bw1 == pytest.approx(
+            GENERIC_AVX2.dram_bandwidth_gbs * PER_CORE_DRAM_SHARE)
+
+    def test_dram_saturates(self, model):
+        full = model.bandwidth(None, GENERIC_AVX2.total_cores)
+        assert full <= GENERIC_AVX2.dram_bandwidth_gbs
+
+    def test_hierarchy_is_monotone_per_core(self):
+        """Each deeper level must be slower for one core — otherwise the
+        Figure-9 stairs would invert."""
+        for m in (GENERIC_AVX2, AMD_EPYC_7V13, INTEL_XEON_6230R):
+            model = CacheHierarchyModel(m)
+            bws = [model.bandwidth(lvl, 1) for lvl in m.caches]
+            bws.append(model.bandwidth(None, 1))
+            assert bws == sorted(bws, reverse=True), m.name
+
+
+class TestSweepTime:
+    def test_cached_store_no_write_allocate(self, model):
+        est = model.sweep_time(bytes_loaded=1e6, bytes_stored=1e6,
+                               working_set_bytes=16 * KB)
+        assert est.bytes_moved == pytest.approx(2e6)
+
+    def test_dram_store_pays_write_allocate(self, model):
+        est = model.sweep_time(bytes_loaded=1e6, bytes_stored=1e6,
+                               working_set_bytes=64 * MB)
+        assert est.level == "DRAM"
+        assert est.bytes_moved == pytest.approx(
+            1e6 + WRITE_ALLOCATE_FACTOR * 1e6)
+
+    def test_numa_penalty_only_on_dram(self):
+        model = CacheHierarchyModel(INTEL_XEON_6230R)
+        kwargs = dict(bytes_loaded=1e9, bytes_stored=0.0, cores=4)
+        near = model.sweep_time(working_set_bytes=16 * KB,
+                                numa_remote_fraction=0.5, **kwargs)
+        near0 = model.sweep_time(working_set_bytes=16 * KB,
+                                 numa_remote_fraction=0.0, **kwargs)
+        assert near.time_s == pytest.approx(near0.time_s)
+        far = model.sweep_time(working_set_bytes=1e9,
+                               numa_remote_fraction=0.5, **kwargs)
+        far0 = model.sweep_time(working_set_bytes=1e9,
+                                numa_remote_fraction=0.0, **kwargs)
+        assert far.time_s > far0.time_s
+
+    def test_more_traffic_more_time(self, model):
+        t1 = model.sweep_time(bytes_loaded=1e6, bytes_stored=0,
+                              working_set_bytes=16 * KB).time_s
+        t2 = model.sweep_time(bytes_loaded=2e6, bytes_stored=0,
+                              working_set_bytes=16 * KB).time_s
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_negative_traffic_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.sweep_time(bytes_loaded=-1, bytes_stored=0,
+                             working_set_bytes=1024)
+
+    def test_estimate_exposes_level_and_bandwidth(self, model):
+        est = model.sweep_time(bytes_loaded=1e6, bytes_stored=0,
+                               working_set_bytes=16 * KB)
+        assert est.level == "L1"
+        assert est.gbs == est.bandwidth_gbs > 0

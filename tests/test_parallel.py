@@ -1,0 +1,167 @@
+"""Tests for topology, the multicore model, and the real executor."""
+
+import numpy as np
+import pytest
+
+from repro.config import AMD_EPYC_7V13, GENERIC_AVX2, INTEL_XEON_6230R
+from repro.errors import ModelError, TilingError
+from repro.parallel.executor import run_parallel
+from repro.parallel.simulator import MulticoreModel, ParallelSetup
+from repro.parallel.topology import allocate_cores
+from repro.schemes import model_cost
+from repro.stencils import apply_steps, library
+from repro.stencils.grid import Grid
+from repro.stencils.library import table3_config
+from repro.tiling.schedule import build_schedule
+
+
+class TestTopology:
+    def test_alternate_round_robin(self):
+        alloc = allocate_cores(INTEL_XEON_6230R, 5, policy="alternate")
+        assert alloc.per_socket == (3, 2)
+        assert alloc.sockets_used == 2
+
+    def test_compact_fills_first_socket(self):
+        alloc = allocate_cores(INTEL_XEON_6230R, 20, policy="compact")
+        assert alloc.per_socket == (20, 0)
+        assert alloc.remote_fraction == 0.0
+
+    def test_remote_fraction_two_sockets(self):
+        alloc = allocate_cores(INTEL_XEON_6230R, 4, policy="alternate")
+        assert alloc.remote_fraction == pytest.approx(0.5)
+
+    def test_single_socket_no_remote(self):
+        alloc = allocate_cores(AMD_EPYC_7V13, 8)
+        assert alloc.remote_fraction == 0.0
+
+    def test_bounds_checked(self):
+        with pytest.raises(ModelError):
+            allocate_cores(AMD_EPYC_7V13, 0)
+        with pytest.raises(ModelError):
+            allocate_cores(AMD_EPYC_7V13, 25)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ModelError):
+            allocate_cores(AMD_EPYC_7V13, 2, policy="nope")
+
+
+class TestMulticoreModel:
+    @pytest.fixture
+    def setup(self):
+        cfg = table3_config("box-2d9p")
+        return cfg, model_cost("jigsaw", cfg.spec, AMD_EPYC_7V13)
+
+    def test_scaling_is_monotone(self, setup):
+        cfg, cost = setup
+        model = MulticoreModel(AMD_EPYC_7V13)
+        curve = model.scaling_curve(
+            cost, cfg.spec, points=cfg.grid_points(), steps=100,
+            core_counts=[1, 2, 4, 8, 16, 24],
+            setup=ParallelSetup(tile_shape=cfg.tile_shape,
+                                time_depth=cfg.time_depth),
+        )
+        gs = [r.gstencil_s for r in curve]
+        assert all(b >= a for a, b in zip(gs, gs[1:]))
+
+    def test_scaling_at_most_linear(self, setup):
+        cfg, cost = setup
+        model = MulticoreModel(AMD_EPYC_7V13)
+        r1 = model.estimate(cost, cfg.spec, points=cfg.grid_points(),
+                            steps=100, cores=1)
+        r24 = model.estimate(cost, cfg.spec, points=cfg.grid_points(),
+                             steps=100, cores=24)
+        assert r24.gstencil_s <= 24 * r1.gstencil_s * 1.001
+
+    def test_3d_saturates_earlier_than_1d(self):
+        model = MulticoreModel(AMD_EPYC_7V13)
+        effs = {}
+        for kernel in ("heat-1d", "heat-3d"):
+            cfg = table3_config(kernel)
+            cost = model_cost("jigsaw", cfg.spec, AMD_EPYC_7V13)
+            setup = ParallelSetup(tile_shape=cfg.tile_shape,
+                                  time_depth=cfg.time_depth)
+            r1 = model.estimate(cost, cfg.spec, points=cfg.grid_points(),
+                                steps=cfg.time_steps, cores=1, setup=setup)
+            r24 = model.estimate(cost, cfg.spec, points=cfg.grid_points(),
+                                 steps=cfg.time_steps, cores=24, setup=setup)
+            effs[kernel] = r24.gstencil_s / (24 * r1.gstencil_s)
+        assert effs["heat-3d"] < effs["heat-1d"]
+
+    def test_numa_hurts_intel_dram_runs(self):
+        cfg = table3_config("heat-3d")
+        cost = model_cost("jigsaw", cfg.spec, INTEL_XEON_6230R)
+        model = MulticoreModel(INTEL_XEON_6230R)
+        # untiled, memory-bound: alternate placement pays the NUMA penalty
+        alt = model.estimate(cost, cfg.spec, points=cfg.grid_points(),
+                             steps=10, cores=8,
+                             setup=ParallelSetup(placement="alternate"))
+        compact = model.estimate(cost, cfg.spec, points=cfg.grid_points(),
+                                 steps=10, cores=8,
+                                 setup=ParallelSetup(placement="compact"))
+        assert alt.gstencil_s <= compact.gstencil_s
+
+    def test_time_depth_amortizes_dram(self, setup):
+        cfg, cost = setup
+        model = MulticoreModel(AMD_EPYC_7V13)
+        shallow = model.estimate(
+            cost, cfg.spec, points=cfg.grid_points(), steps=100, cores=24,
+            setup=ParallelSetup(tile_shape=cfg.tile_shape, time_depth=1))
+        deep = model.estimate(
+            cost, cfg.spec, points=cfg.grid_points(), steps=100, cores=24,
+            setup=ParallelSetup(tile_shape=cfg.tile_shape, time_depth=50))
+        assert deep.gstencil_s >= shallow.gstencil_s
+
+    def test_bad_setup_rejected(self):
+        with pytest.raises(ModelError):
+            ParallelSetup(time_depth=0)
+
+
+class TestExecutor:
+    @pytest.mark.parametrize("kernel", ["heat-1d", "heat-2d", "box-2d9p",
+                                        "heat-3d"])
+    def test_matches_reference(self, kernel):
+        spec = library.get(kernel)
+        shape = (16,) * spec.ndim
+        g = Grid.random(shape, spec.radius, seed=1)
+        got = run_parallel(spec, g, 3, workers=4,
+                           tile_shape=(8,) * spec.ndim)
+        ref = apply_steps(spec, g, 3)
+        assert np.allclose(got.interior, ref.interior, rtol=1e-12, atol=1e-14)
+
+    def test_dirichlet(self):
+        spec = library.get("heat-2d")
+        g = Grid.random((16, 16), 1, seed=2)
+        got = run_parallel(spec, g, 2, workers=2, tile_shape=(8, 8),
+                           boundary="dirichlet", value=0.5)
+        ref = apply_steps(spec, g, 2, boundary="dirichlet", value=0.5)
+        assert np.allclose(got.interior, ref.interior, rtol=1e-12)
+
+    def test_default_tiling_splits_outer_axis(self):
+        spec = library.get("heat-2d")
+        g = Grid.random((16, 16), 1, seed=3)
+        got = run_parallel(spec, g, 2, workers=4)
+        ref = apply_steps(spec, g, 2)
+        assert np.allclose(got.interior, ref.interior, rtol=1e-12)
+
+    def test_custom_schedule(self):
+        spec = library.get("heat-2d")
+        g = Grid.random((16, 16), 1, seed=4)
+        sched = build_schedule((16, 16), (8, 8), time_depth=2)
+        got = run_parallel(spec, g, 2, workers=2, schedule=sched)
+        ref = apply_steps(spec, g, 2)
+        assert np.allclose(got.interior, ref.interior, rtol=1e-12)
+
+    def test_input_untouched(self):
+        spec = library.get("heat-1d")
+        g = Grid.random((32,), 1, seed=5)
+        before = g.data.copy()
+        run_parallel(spec, g, 2, workers=2)
+        assert np.array_equal(g.data, before)
+
+    def test_validation(self):
+        spec = library.get("heat-1d")
+        g = Grid.random((32,), 1, seed=6)
+        with pytest.raises(TilingError):
+            run_parallel(spec, g, -1)
+        with pytest.raises(TilingError):
+            run_parallel(spec, g, 1, workers=0)

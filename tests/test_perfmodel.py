@@ -1,0 +1,104 @@
+"""Tests for the end-to-end roofline model."""
+
+import pytest
+
+from repro.config import GENERIC_AVX2
+from repro.errors import ModelError
+from repro.machine.perfmodel import KernelCost, PerformanceModel
+from repro.schemes import model_cost, model_program
+from repro.stencils import library
+
+
+@pytest.fixture
+def model():
+    return PerformanceModel(GENERIC_AVX2)
+
+
+@pytest.fixture
+def cost():
+    return model_cost("jigsaw", library.get("heat-2d"), GENERIC_AVX2)
+
+
+class TestKernelCost:
+    def test_from_program_fields(self):
+        prog = model_program("jigsaw", library.get("heat-2d"), GENERIC_AVX2)
+        cost = KernelCost.from_program(prog, GENERIC_AVX2)
+        assert cost.scheme == "jigsaw"
+        assert cost.width == 4
+        assert cost.vectors_per_iter == 2
+        assert cost.elems_per_iter == 8
+        assert cost.cycles_per_iter > 0
+        assert cost.registers_used > 0
+
+    def test_t_jigsaw_steps_recorded(self):
+        prog = model_program("t-jigsaw", library.get("heat-1d"),
+                             GENERIC_AVX2)
+        cost = KernelCost.from_program(prog, GENERIC_AVX2)
+        assert cost.steps_per_iter == 2
+
+
+class TestEstimate:
+    def test_roofline_max_composition(self, model, cost):
+        res = model.estimate(cost, points=10**6, steps=10)
+        assert res.time_s >= max(res.compute_time_s, res.memory_time_s) * 0.999
+        assert res.gstencil_s == pytest.approx(
+            10**7 / res.time_s / 1e9)
+
+    def test_validation(self, model, cost):
+        with pytest.raises(ModelError):
+            model.estimate(cost, points=0, steps=1)
+        with pytest.raises(ModelError):
+            model.estimate(cost, points=100, steps=1, cores=0)
+        with pytest.raises(ModelError):
+            model.estimate(cost, points=100, steps=1,
+                           cores=GENERIC_AVX2.total_cores + 1)
+        with pytest.raises(ModelError):
+            model.estimate(cost, points=100, steps=1, efficiency=0)
+
+    def test_more_cores_never_slower_compute(self, model, cost):
+        r1 = model.estimate(cost, points=10**7, steps=10, cores=1)
+        r4 = model.estimate(cost, points=10**7, steps=10, cores=4)
+        assert r4.compute_time_s < r1.compute_time_s
+
+    def test_bigger_working_set_slower_or_equal(self, model, cost):
+        fast = model.estimate(cost, points=10**6, steps=10,
+                              working_set_bytes=16 * 1024)
+        slow = model.estimate(cost, points=10**6, steps=10,
+                              working_set_bytes=10**9)
+        assert slow.gstencil_s <= fast.gstencil_s
+
+    def test_stair_levels_reported(self, model, cost):
+        small = model.estimate(cost, points=1024, steps=10)
+        huge = model.estimate(cost, points=10**8, steps=10)
+        assert small.level in ("L1", "L2")
+        assert huge.level == "DRAM"
+
+    def test_sync_overhead_added(self, model, cost):
+        quiet = model.estimate(cost, points=10**6, steps=10)
+        noisy = model.estimate(cost, points=10**6, steps=10,
+                               sync_phases=1000)
+        assert noisy.time_s > quiet.time_s
+
+    def test_efficiency_derating(self, model, cost):
+        full = model.estimate(cost, points=10**5, steps=10)
+        half = model.estimate(cost, points=10**5, steps=10, efficiency=0.5)
+        assert half.compute_time_s == pytest.approx(
+            2 * full.compute_time_s)
+
+    def test_fused_cost_amortizes_sweeps(self, model):
+        """A 2-step-fused kernel runs half the sweeps, so its memory term
+        halves for the same step count."""
+        c1 = model_cost("jigsaw", library.get("heat-1d"), GENERIC_AVX2)
+        c2 = model_cost("t-jigsaw", library.get("heat-1d"), GENERIC_AVX2)
+        r1 = model.estimate(c1, points=10**8, steps=20)
+        r2 = model.estimate(c2, points=10**8, steps=20)
+        assert r2.memory_time_s == pytest.approx(r1.memory_time_s / 2)
+
+    def test_bottleneck_labels(self, model, cost):
+        res = model.estimate(cost, points=10**8, steps=10)
+        assert res.bottleneck in ("compute", "memory")
+
+    def test_speedup_over(self, model, cost):
+        a = model.estimate(cost, points=10**6, steps=10)
+        b = model.estimate(cost, points=10**6, steps=10, efficiency=0.5)
+        assert a.speedup_over(b) > 1.0

@@ -1,0 +1,114 @@
+"""Unit tests for the reference implementations (ground truth)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.stencils import apply_numpy, apply_scalar, apply_steps, library
+from repro.stencils.boundary import fill_halo
+from repro.stencils.grid import Grid
+from repro.stencils.reference import required_halo
+from repro.stencils.spec import star
+
+
+@pytest.mark.parametrize("kernel", library.names())
+def test_numpy_matches_scalar(kernel):
+    spec = library.get(kernel)
+    g = Grid.random((6,) * spec.ndim, spec.radius, seed=2)
+    fill_halo(g)
+    a = apply_numpy(spec, g)
+    b = apply_scalar(spec, g)
+    assert np.allclose(a.interior, b.interior, rtol=1e-13)
+
+
+def test_identity_stencil_is_identity():
+    spec = star(1, 1, center=1.0, arm=[0.0])
+    g = Grid.random((16,), 1, seed=0)
+    fill_halo(g)
+    out = apply_numpy(spec, g)
+    assert np.allclose(out.interior, g.interior)
+
+
+def test_shift_stencil_moves_data():
+    from repro.stencils.spec import StencilSpec
+    spec = StencilSpec("shift", 1, ((1,),), (1.0,))
+    g = Grid((4,), 1)
+    g.interior[...] = [1, 2, 3, 4]
+    fill_halo(g, "periodic")
+    out = apply_numpy(spec, g)
+    assert np.array_equal(out.interior, [2, 3, 4, 1])
+
+
+def test_apply_requires_halo():
+    spec = library.get("star-1d5p")  # radius 2
+    g = Grid((16,), 1)
+    with pytest.raises(GridError):
+        apply_numpy(spec, g)
+
+
+def test_apply_requires_matching_ndim():
+    spec = library.get("heat-2d")
+    with pytest.raises(GridError):
+        apply_numpy(spec, Grid((16,), 2))
+
+
+def test_apply_reuses_out_grid():
+    spec = library.get("heat-1d")
+    g = Grid.random((8,), 1, seed=1)
+    fill_halo(g)
+    out = g.like()
+    res = apply_numpy(spec, g, out)
+    assert res is out
+
+
+class TestApplySteps:
+    def test_zero_steps_copies(self):
+        spec = library.get("heat-1d")
+        g = Grid.random((8,), 1, seed=1)
+        out = apply_steps(spec, g, 0)
+        assert out is not g
+        assert np.array_equal(out.interior, g.interior)
+
+    def test_negative_steps_rejected(self):
+        spec = library.get("heat-1d")
+        with pytest.raises(GridError):
+            apply_steps(spec, Grid((8,), 1), -1)
+
+    def test_steps_compose(self):
+        spec = library.get("heat-2d")
+        g = Grid.random((8, 8), 1, seed=3)
+        once_then_twice = apply_steps(spec, apply_steps(spec, g, 1), 2)
+        three = apply_steps(spec, g, 3)
+        assert np.allclose(once_then_twice.interior, three.interior,
+                           rtol=1e-13)
+
+    def test_conservation_under_periodic(self):
+        # coefficients sum to 1 => periodic sweeps conserve the total
+        spec = library.get("box-2d9p")
+        g = Grid.random((8, 8), 1, seed=4)
+        out = apply_steps(spec, g, 5)
+        assert out.interior.sum() == pytest.approx(g.interior.sum())
+
+    def test_smoothing_contracts_range(self):
+        spec = library.get("heat-1d")
+        g = Grid.random((32,), 1, seed=5)
+        out = apply_steps(spec, g, 10)
+        assert np.ptp(out.interior) < np.ptp(g.interior)
+
+    def test_dirichlet_differs_from_periodic(self):
+        spec = library.get("heat-1d")
+        g = Grid.random((8,), 1, seed=6)
+        p = apply_steps(spec, g, 3, boundary="periodic")
+        d = apply_steps(spec, g, 3, boundary="dirichlet", value=0.0)
+        assert not np.allclose(p.interior, d.interior)
+
+    def test_input_not_modified(self):
+        spec = library.get("heat-1d")
+        g = Grid.random((8,), 1, seed=7)
+        before = g.data.copy()
+        apply_steps(spec, g, 2)
+        assert np.array_equal(g.data, before)
+
+
+def test_required_halo_is_radius():
+    assert required_halo(library.get("star-2d9p")) == (2, 2)

@@ -1,0 +1,115 @@
+"""Tests for the liveness analysis and spill model (§3.1/§4.4 register
+pressure)."""
+
+import pytest
+
+from repro.config import GENERIC_AVX2, GENERIC_AVX512
+from repro.machine.isa import Affine, Instr, Op
+from repro.machine.pipeline import (
+    SPILL_LOAD_CPI,
+    SPILL_STORE_CPI,
+    PipelineModel,
+)
+from repro.schemes import model_program
+from repro.stencils import library
+from repro.vectorize.program import Loop, ProgramBuilder
+
+
+def build(body_fn, width=4):
+    b = ProgramBuilder(width)
+    body_fn(b)
+    return b.build(name="p", scheme="t", loops=[Loop("x", 0, 8, width)],
+                   vectors_per_iter=1)
+
+
+class TestMaxLive:
+    def test_straight_chain_low_pressure(self):
+        def body(b):
+            v = b.load(b.mem(Affine.var("x")))
+            for _ in range(5):
+                v = b.add(v, v)
+            b.store(v, b.mem(Affine.var("x"), array="out"))
+
+        assert build(body).max_live_registers() <= 2
+
+    def test_fanout_raises_pressure(self):
+        def body(b):
+            vs = [b.load(b.mem(Affine.var("x"))) for _ in range(6)]
+            acc = vs[0]
+            for v in vs[1:]:
+                acc = b.add(acc, v)
+            b.store(acc, b.mem(Affine.var("x"), array="out"))
+
+        assert build(body).max_live_registers() >= 6
+
+    def test_loop_carried_registers_live_throughout(self):
+        def body(b):
+            # "carry" is read before it is written -> loop-carried
+            out = b.add("carry", "carry")
+            b.store(out, b.mem(Affine.var("x"), array="out"))
+            b.load_to("carry", b.mem(Affine.var("x")))
+
+        assert build(body).max_live_registers() >= 1
+
+    def test_constants_excluded(self):
+        def body(b):
+            v = b.load(b.mem(Affine.var("x")))
+            acc = None
+            for c in (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8):
+                cr = b.broadcast(c)
+                acc = b.mul(cr, v) if acc is None else b.fma(cr, v, acc)
+            b.store(acc, b.mem(Affine.var("x"), array="out"))
+
+        prog = build(body)
+        assert len(prog.constant_registers()) == 8
+        assert prog.max_live_registers() <= 3
+
+    def test_jigsaw_2d_fits_avx2_registers(self):
+        """The paper's Jigsaw fits the 16-register file for the 2-D
+        kernels; deep fusion does not (§4.4's spill caveat)."""
+        jig = model_program("jigsaw", library.get("box-2d9p"), GENERIC_AVX2)
+        assert jig.max_live_registers() <= GENERIC_AVX2.vector_registers
+        tjig = model_program("t-jigsaw", library.get("box-2d9p"),
+                             GENERIC_AVX2)
+        assert tjig.max_live_registers() > GENERIC_AVX2.vector_registers
+
+    def test_folding_pressure_exceeds_jigsaw(self):
+        fold = model_program("folding", library.get("heat-3d"), GENERIC_AVX2)
+        jig = model_program("jigsaw", library.get("heat-3d"), GENERIC_AVX2)
+        assert fold.max_live_registers() > 2 * jig.max_live_registers()
+
+
+class TestSpillModel:
+    def test_no_spills_within_budget(self):
+        pm = PipelineModel(GENERIC_AVX2)
+        est = pm.estimate(model_program("jigsaw", library.get("heat-1d"),
+                                        GENERIC_AVX2))
+        assert est.spills == 0
+
+    def test_spills_charged_on_ports(self):
+        pm = PipelineModel(GENERIC_AVX2)
+        prog = model_program("t-jigsaw", library.get("box-2d9p"),
+                             GENERIC_AVX2)
+        est = pm.estimate(prog)
+        assert est.spills == prog.max_live_registers() - 16
+        base_ports = pm.port_pressure(prog.body)
+        assert est.port_cycles["load"] == pytest.approx(
+            base_ports["load"] + est.spills * SPILL_LOAD_CPI)
+        assert est.port_cycles["store"] == pytest.approx(
+            base_ports["store"] + est.spills * SPILL_STORE_CPI)
+
+    def test_avx512_register_file_absorbs_pressure(self):
+        """AVX-512's 32 registers (the §4.6 outlook) remove spills the
+        16-register file pays."""
+        prog = model_program("t-jigsaw", library.get("box-2d9p"),
+                             GENERIC_AVX2)
+        est2 = PipelineModel(GENERIC_AVX2).estimate(prog)
+        wide = GENERIC_AVX2
+        import dataclasses
+        wide = dataclasses.replace(wide, vector_registers=32)
+        est512 = PipelineModel(wide).estimate(prog)
+        assert est2.spills > 0 and est512.spills < est2.spills
+
+    def test_generic_avx512_has_32_registers(self):
+        assert GENERIC_AVX512.vector_registers == 32
+        assert GENERIC_AVX2.vector_registers == 16

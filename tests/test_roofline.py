@@ -1,0 +1,64 @@
+"""Tests for the roofline analysis."""
+
+import pytest
+
+from repro.config import AMD_EPYC_7V13
+from repro.analysis.roofline import (
+    flops_of,
+    peak_gflops,
+    roofline_point,
+    roofline_table,
+)
+from repro.stencils import library
+
+
+def test_peak_gflops():
+    # 2 FMA ports x 4 lanes x 2 FLOPs x 2.45 GHz
+    assert peak_gflops(AMD_EPYC_7V13) == pytest.approx(2 * 4 * 2 * 2.45)
+
+
+def test_flops_of():
+    assert flops_of(library.get("heat-1d")) == 5
+    assert flops_of(library.get("box-3d27p")) == 53
+
+
+class TestRooflinePoints:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return {p.scheme: p
+                for p in roofline_table(library.get("heat-2d"),
+                                        AMD_EPYC_7V13)}
+
+    def test_stencils_sit_left_of_ridge(self, points):
+        """At DRAM bandwidth every scheme is memory-bound — the premise of
+        the whole optimization space."""
+        for p in points.values():
+            assert p.memory_bound_at_dram, p.scheme
+
+    def test_itm_moves_right(self, points):
+        """Temporal fusion raises operational intensity (fewer bytes per
+        step), the only lever that moves the DRAM ceiling."""
+        assert points["t-jigsaw"].intensity > points["jigsaw"].intensity
+        assert points["t-jigsaw"].bandwidth_ceiling_gflops["DRAM"] > \
+            points["jigsaw"].bandwidth_ceiling_gflops["DRAM"]
+
+    def test_jigsaw_achieves_more_than_baselines(self, points):
+        assert points["jigsaw"].achieved_gflops > \
+            points["auto"].achieved_gflops
+        assert points["jigsaw"].achieved_gflops > \
+            points["reorg"].achieved_gflops
+
+    def test_achieved_below_compute_ceiling(self, points):
+        for p in points.values():
+            assert p.achieved_gflops <= p.compute_ceiling_gflops * 1.001
+
+    def test_ceiling_lookup(self, points):
+        p = points["jigsaw"]
+        assert p.ceiling_at("L1") <= p.compute_ceiling_gflops
+        assert p.ceiling_at("DRAM") < p.ceiling_at("L1")
+
+
+def test_unsupported_schemes_skipped():
+    pts = roofline_table(library.get("heat-2d"), AMD_EPYC_7V13,
+                         schemes=("jigsaw", "t4-jigsaw"))
+    assert [p.scheme for p in pts] == ["jigsaw"]

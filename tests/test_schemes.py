@@ -1,0 +1,76 @@
+"""Tests for the scheme registry."""
+
+import numpy as np
+import pytest
+
+from repro.config import GENERIC_AVX2
+from repro.errors import VectorizeError
+from repro.schemes import (
+    LABELS,
+    SCHEMES,
+    generate,
+    model_cost,
+    model_grid,
+    model_program,
+    scheme_block,
+    scheme_halo,
+)
+from repro.stencils import apply_steps, library
+from repro.vectorize.driver import run_program
+
+
+def test_all_schemes_labelled():
+    assert set(LABELS) == set(SCHEMES)
+
+
+@pytest.mark.parametrize("scheme", [s for s in SCHEMES if s != "t4-jigsaw"])
+@pytest.mark.parametrize("kernel", ["heat-1d", "heat-2d", "box-2d9p"])
+def test_registry_lowers_and_validates(scheme, kernel):
+    spec = library.get(kernel)
+    grid = model_grid(scheme, spec, GENERIC_AVX2, seed=1)
+    prog = generate(scheme, spec, GENERIC_AVX2, grid)
+    steps = prog.steps_per_iter
+    got = run_program(prog, grid, steps)
+    ref = apply_steps(spec, grid, steps)
+    assert np.allclose(got.interior, ref.interior, rtol=1e-12, atol=1e-14)
+
+
+def test_t4_jigsaw_1d_only():
+    spec = library.get("heat-1d")
+    grid = model_grid("t4-jigsaw", spec, GENERIC_AVX2, seed=1)
+    prog = generate("t4-jigsaw", spec, GENERIC_AVX2, grid)
+    assert prog.steps_per_iter == 4
+    with pytest.raises(VectorizeError):
+        model_program("t4-jigsaw", library.get("heat-2d"), GENERIC_AVX2)
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(VectorizeError):
+        generate("nope", library.get("heat-1d"), GENERIC_AVX2,
+                 model_grid("auto", library.get("heat-1d"), GENERIC_AVX2))
+
+
+def test_scheme_blocks():
+    assert scheme_block("auto", GENERIC_AVX2) == 4
+    assert scheme_block("folding", GENERIC_AVX2) == 16
+    assert scheme_block("jigsaw", GENERIC_AVX2) == 8
+
+
+def test_scheme_halos_cover_radius():
+    spec = library.get("star-2d9p")
+    for scheme in ("auto", "reorg", "folding", "jigsaw", "t-jigsaw"):
+        halo = scheme_halo(scheme, spec, GENERIC_AVX2)
+        assert halo[0] >= 2
+
+
+def test_model_grid_divisible():
+    for scheme in ("auto", "reorg", "folding", "jigsaw"):
+        g = model_grid(scheme, library.get("heat-2d"), GENERIC_AVX2)
+        assert g.shape[-1] % scheme_block(scheme, GENERIC_AVX2) == 0
+
+
+def test_model_cost_fields():
+    cost = model_cost("t-jigsaw", library.get("heat-1d"), GENERIC_AVX2)
+    assert cost.steps_per_iter == 2
+    assert cost.scheme == "t-jigsaw"
+    assert cost.cycles_per_iter > 0

@@ -1,0 +1,157 @@
+"""Unit tests for SVD-based Dimension Flattening."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError, SpecError
+from repro.core.sdf import (
+    Rank1Term,
+    effective_rank,
+    flatten_terms,
+    matricize,
+    reconstruct,
+    reconstruction_error,
+    rows_as_terms,
+    shuffle_reduction,
+    structured_terms,
+)
+from repro.stencils import library
+from repro.stencils.spec import StencilSpec, box, star
+
+
+class TestMatricize:
+    def test_2d_equals_coefficient_matrix(self):
+        spec = library.get("box-2d9p")
+        outers, dxs, m = matricize(spec)
+        assert np.allclose(m, spec.coefficient_matrix())
+        assert dxs == [-1, 0, 1]
+        assert outers == [(-1,), (0,), (1,)]
+
+    def test_1d_single_row(self):
+        outers, dxs, m = matricize(library.get("heat-1d"))
+        assert outers == [()]
+        assert m.shape == (1, 3)
+
+    def test_3d_rows_are_zy_pairs(self):
+        outers, dxs, m = matricize(library.get("box-3d27p"))
+        assert len(outers) == 9
+        assert m.shape == (9, 3)
+
+    def test_star_zero_fill(self):
+        _, _, m = matricize(library.get("heat-2d"))
+        assert m[0, 0] == 0.0  # row (-1,) has no dx=-1 point
+        assert m[0, 1] == pytest.approx(0.125)
+
+
+class TestFlattenTerms:
+    @pytest.mark.parametrize("kernel", library.names())
+    def test_reconstruction_exact(self, kernel):
+        spec = library.get(kernel)
+        assert reconstruction_error(spec, flatten_terms(spec)) < 1e-12
+
+    def test_separable_box_is_rank1(self):
+        assert effective_rank(library.get("box-2d9p-separable")) == 1
+        assert effective_rank(library.get("box-3d27p")) == 1
+
+    def test_box2d9p_rank2(self):
+        assert effective_rank(library.get("box-2d9p")) == 2
+
+    def test_star_kernels_rank2(self):
+        assert effective_rank(library.get("heat-2d")) == 2
+        assert effective_rank(library.get("star-2d9p")) == 2
+
+    def test_max_terms_enforced(self):
+        with pytest.raises(PlanError):
+            flatten_terms(library.get("box-2d9p"), max_terms=1)
+
+    def test_zero_matrix_rejected(self):
+        spec = StencilSpec("z", 2, ((0, 0),), (0.0,))
+        with pytest.raises(PlanError):
+            flatten_terms(spec)
+
+    def test_terms_sorted_by_sigma(self):
+        terms = flatten_terms(library.get("box-2d9p"))
+        sigmas = [t.sigma for t in terms]
+        assert sigmas == sorted(sigmas, reverse=True)
+
+
+class TestStructuredTerms:
+    @pytest.mark.parametrize("kernel", library.names())
+    def test_reconstruction_exact(self, kernel):
+        spec = library.get(kernel)
+        assert reconstruction_error(spec, structured_terms(spec)) < 1e-12
+
+    def test_box2d9p_matches_figure4(self):
+        """Ring (rank-1, ±1 taps) + centre column — the paper's Figure 4."""
+        terms = structured_terms(library.get("box-2d9p"))
+        assert len(terms) == 2
+        ring, column = terms
+        assert sorted(ring.v) == [-1, 1]
+        assert sorted(column.v) == [0]
+        assert len(column.u) == 3
+
+    def test_star_splits_row_and_column(self):
+        terms = structured_terms(library.get("heat-2d"))
+        assert len(terms) == 2
+        row, column = terms
+        assert len(row.u) == 1      # only the centre row has x-shifts
+        assert sorted(row.v) == [-1, 1]
+        assert sorted(column.v) == [0]
+        assert len(column.u) == 3   # all three rows contribute at dx=0
+
+    def test_separable_box_single_shifted_term(self):
+        terms = structured_terms(library.get("box-3d27p"))
+        shifted = [t for t in terms if any(d != 0 for d in t.v)]
+        assert len(shifted) == 1
+
+    def test_1d_defers_to_flatten(self):
+        spec = library.get("star-1d5p")
+        terms = structured_terms(spec)
+        assert len(terms) == 1
+        assert sorted(terms[0].v) == [-2, -1, 0, 1, 2]
+
+    def test_column_only_stencil(self):
+        spec = StencilSpec("col", 2, ((-1, 0), (0, 0), (1, 0)),
+                           (0.25, 0.5, 0.25))
+        terms = structured_terms(spec)
+        assert len(terms) == 1
+        assert sorted(terms[0].v) == [0]
+
+
+class TestRowsAsTerms:
+    def test_one_term_per_row(self):
+        spec = library.get("heat-2d")
+        terms = rows_as_terms(spec)
+        assert len(terms) == 3
+        assert all(len(t.u) == 1 for t in terms)
+        assert reconstruction_error(spec, terms) < 1e-15
+
+    def test_unit_row_weights(self):
+        terms = rows_as_terms(library.get("box-2d9p"))
+        assert all(list(t.u.values()) == [1.0] for t in terms)
+
+
+class TestRank1Term:
+    def test_dense(self):
+        t = Rank1Term(u={(0,): 2.0}, v={-1: 0.5, 1: 0.5}, sigma=1.0)
+        d = t.dense([(-1,), (0,), (1,)], [-1, 0, 1])
+        assert d[1, 0] == 1.0 and d[1, 2] == 1.0
+        assert d[0].sum() == 0.0
+
+    def test_counts(self):
+        t = Rank1Term(u={(0,): 1.0, (1,): 1.0}, v={0: 1.0}, sigma=1.0)
+        assert t.rows == 2 and t.taps == 1
+
+
+class TestShuffleReduction:
+    def test_box2d9p_two_thirds(self):
+        """§3.2: SDF removes 2/3 of the row-gathering shuffle work for
+        Box-2D9P (3 shifted rows -> 1 shifted term)."""
+        assert shuffle_reduction(library.get("box-2d9p")) == pytest.approx(2 / 3)
+
+    def test_box3d27p_eight_ninths(self):
+        """§3.2: 8/9 for Box-3D27P (9 shifted rows -> 1 shifted term)."""
+        assert shuffle_reduction(library.get("box-3d27p")) == pytest.approx(8 / 9)
+
+    def test_1d_no_reduction(self):
+        assert shuffle_reduction(library.get("heat-1d")) == 0.0

@@ -1,0 +1,83 @@
+"""Tests for vector-program JSON serialization."""
+
+import numpy as np
+import pytest
+
+from repro.config import GENERIC_AVX2
+from repro.errors import IsaError
+from repro.machine.serialize import (
+    dumps,
+    instr_from_dict,
+    loads,
+    program_from_dict,
+    program_to_dict,
+)
+from repro.schemes import SCHEMES, generate, model_grid
+from repro.stencils import apply_steps, library
+from repro.vectorize.driver import run_program
+
+
+@pytest.mark.parametrize("scheme", [s for s in SCHEMES if s != "t4-jigsaw"])
+def test_roundtrip_program_equality(scheme):
+    spec = library.get("heat-2d")
+    grid = model_grid(scheme, spec, GENERIC_AVX2)
+    prog = generate(scheme, spec, GENERIC_AVX2, grid)
+    back = loads(dumps(prog))
+    assert back.body == prog.body
+    assert back.prologue == prog.prologue
+    assert back.loops == prog.loops
+    assert back.scheme == prog.scheme
+    assert back.steps_per_iter == prog.steps_per_iter
+
+
+def test_roundtripped_program_executes_identically():
+    spec = library.get("box-2d9p")
+    grid = model_grid("jigsaw", spec, GENERIC_AVX2, seed=4)
+    prog = generate("jigsaw", spec, GENERIC_AVX2, grid)
+    back = loads(dumps(prog))
+    a = run_program(prog, grid, 1)
+    b = run_program(back, grid, 1)
+    assert np.array_equal(a.interior, b.interior)
+
+
+def test_tail_spec_roundtrips():
+    spec = library.get("heat-1d")
+    grid = model_grid("t-jigsaw", spec, GENERIC_AVX2)
+    prog = generate("t-jigsaw", spec, GENERIC_AVX2, grid)
+    back = loads(dumps(prog))
+    assert back.tail_spec is not None
+    assert back.tail_spec.coefficient_table() == \
+        prog.tail_spec.coefficient_table()
+
+
+def test_tail_spec_drives_epilogue_after_roundtrip():
+    from repro.stencils.grid import Grid
+    from repro.core.jigsaw import generate_jigsaw, required_halo
+    spec = library.get("heat-1d")
+    g = Grid.random((28,), required_halo(spec, GENERIC_AVX2), seed=0)
+    prog = loads(dumps(generate_jigsaw(spec, GENERIC_AVX2, g)))
+    got = run_program(prog, g, 1)
+    ref = apply_steps(spec, g, 1)
+    assert np.allclose(got.interior, ref.interior, rtol=1e-12)
+
+
+def test_unaligned_flag_preserved():
+    spec = library.get("box-2d9p")
+    grid = model_grid("auto", spec, GENERIC_AVX2)
+    prog = generate("auto", spec, GENERIC_AVX2, grid)
+    back = loads(dumps(prog))
+    assert any(i.unaligned for i in back.body)
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(IsaError):
+        instr_from_dict({"op": "vbogus"})
+
+
+def test_dict_shape_is_json_friendly():
+    import json
+    spec = library.get("heat-1d")
+    grid = model_grid("jigsaw", spec, GENERIC_AVX2)
+    prog = generate("jigsaw", spec, GENERIC_AVX2, grid)
+    text = json.dumps(program_to_dict(prog))
+    assert program_from_dict(json.loads(text)).width == 4

@@ -1,0 +1,195 @@
+"""Unit tests for :mod:`repro.stencils.spec`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecError
+from repro.stencils.spec import (
+    StencilSpec,
+    box,
+    from_array,
+    iter_row_offsets,
+    star,
+)
+
+
+class TestValidation:
+    def test_minimal_spec(self):
+        s = StencilSpec("p", 1, ((0,),), (1.0,))
+        assert s.npoints == 1
+        assert s.radius == (0,)
+
+    def test_rejects_empty_points(self):
+        with pytest.raises(SpecError):
+            StencilSpec("e", 1, (), ())
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(SpecError):
+            StencilSpec("e", 1, ((0,), (1,)), (1.0,))
+
+    def test_rejects_duplicate_offsets(self):
+        with pytest.raises(SpecError):
+            StencilSpec("e", 1, ((0,), (0,)), (0.5, 0.5))
+
+    def test_rejects_wrong_offset_rank(self):
+        with pytest.raises(SpecError):
+            StencilSpec("e", 2, ((0,),), (1.0,))
+
+    def test_rejects_nonfinite_coeffs(self):
+        with pytest.raises(SpecError):
+            StencilSpec("e", 1, ((0,),), (float("nan"),))
+
+    def test_rejects_zero_ndim(self):
+        with pytest.raises(SpecError):
+            StencilSpec("e", 0, ((),), (1.0,))
+
+    def test_offsets_normalized_to_ints(self):
+        s = StencilSpec("p", 2, ((np.int64(1), np.int64(0)),), (1.0,))
+        assert s.offsets == ((1, 0),)
+        assert all(isinstance(v, int) for v in s.offsets[0])
+
+
+class TestShapeQueries:
+    def test_radius_per_axis(self):
+        s = StencilSpec("p", 2, ((0, 0), (2, 0), (0, 1)), (0.5, 0.25, 0.25))
+        assert s.radius == (2, 1)
+        assert s.order == 2
+
+    def test_tag(self):
+        assert star(2, 1, center=0.5, arm=[0.125]).tag == "2D5P"
+        assert box(3, 1).tag == "3D27P"
+
+    def test_star_detection(self):
+        assert star(3, 2, center=0.5, arm=[0.2, 0.05]).is_star
+        assert not box(2, 1).is_star
+
+    def test_box_detection(self):
+        assert box(2, 1).is_box
+        assert not star(2, 1, center=0.5, arm=[0.125]).is_box
+
+    def test_1d_star_radius1_is_also_box(self):
+        # a 1-D 3-point star fills the whole [-1, 1] box
+        assert star(1, 1, center=0.5, arm=[0.25]).is_box
+
+    def test_symmetry_detection(self):
+        assert star(2, 1, center=0.5, arm=[0.125]).is_symmetric
+        asym = StencilSpec("a", 1, ((-1,), (0,), (1,)), (0.1, 0.5, 0.4))
+        assert not asym.is_symmetric
+
+    def test_coefficient_sum(self):
+        assert box(2, 1).coefficient_sum() == pytest.approx(1.0)
+
+
+class TestCoefficientViews:
+    def test_coefficient_array_center(self):
+        s = star(1, 1, center=0.5, arm=[0.25])
+        arr = s.coefficient_array()
+        assert arr.shape == (3,)
+        assert arr[1] == 0.5
+        assert arr[0] == arr[2] == 0.25
+
+    def test_coefficient_array_2d_placement(self):
+        s = StencilSpec("p", 2, ((0, 0), (-1, 1)), (0.75, 0.25))
+        arr = s.coefficient_array()
+        assert arr.shape == (3, 3)
+        assert arr[1, 1] == 0.75
+        assert arr[0, 2] == 0.25
+
+    def test_coefficient_matrix_requires_2d(self):
+        with pytest.raises(SpecError):
+            star(1, 1, center=0.5, arm=[0.25]).coefficient_matrix()
+
+    def test_coefficient_table_roundtrip(self):
+        s = box(2, 1)
+        table = s.coefficient_table()
+        assert len(table) == 9
+        assert table[(0, 0)] == pytest.approx(1 / 9)
+
+    def test_scaled(self):
+        s = star(1, 1, center=0.5, arm=[0.25]).scaled(2.0)
+        assert s.coefficient_sum() == pytest.approx(2.0)
+
+    def test_renamed(self):
+        assert box(2, 1).renamed("foo").name == "foo"
+
+
+class TestAxisTaps:
+    def test_axis_taps_1d(self):
+        taps = star(1, 2, center=0.4, arm=[0.2, 0.1]).axis_taps(0)
+        assert taps == {
+            -2: pytest.approx(0.1), -1: pytest.approx(0.2),
+            0: pytest.approx(0.4), 1: pytest.approx(0.2),
+            2: pytest.approx(0.1),
+        }
+
+    def test_axis_taps_rejects_off_axis(self):
+        with pytest.raises(SpecError):
+            box(2, 1).axis_taps(1)
+
+
+class TestFactories:
+    def test_star_point_count(self):
+        assert star(3, 2, center=0.5, arm=[0.2, 0.05]).npoints == 13
+
+    def test_star_rejects_bad_radius(self):
+        with pytest.raises(SpecError):
+            star(1, 0, center=1.0, arm=[])
+
+    def test_star_rejects_arm_length_mismatch(self):
+        with pytest.raises(SpecError):
+            star(1, 2, center=0.5, arm=[0.25])
+
+    def test_box_uniform_default(self):
+        s = box(2, 1)
+        assert all(c == pytest.approx(1 / 9) for c in s.coeffs)
+
+    def test_box_rejects_wrong_weight_shape(self):
+        with pytest.raises(SpecError):
+            box(2, 1, np.ones((3, 5)))
+
+    def test_from_array_drops_zeros(self):
+        w = np.zeros((3, 3))
+        w[1, 1] = 1.0
+        w[0, 1] = 0.5
+        s = from_array(w)
+        assert s.npoints == 2
+
+    def test_from_array_keep_zeros(self):
+        w = np.zeros((3,))
+        w[1] = 1.0
+        s = from_array(w, keep_zeros=True)
+        assert s.npoints == 3
+
+    def test_from_array_rejects_even_sides(self):
+        with pytest.raises(SpecError):
+            from_array(np.ones((4,)))
+
+    def test_from_array_rejects_all_zero(self):
+        with pytest.raises(SpecError):
+            from_array(np.zeros((3, 3)))
+
+    def test_from_array_roundtrips_coefficient_array(self):
+        s = box(2, 1, np.arange(1, 10, dtype=float).reshape(3, 3))
+        s2 = from_array(s.coefficient_array(), name=s.name)
+        assert np.allclose(s2.coefficient_array(), s.coefficient_array())
+
+
+class TestRowGrouping:
+    def test_rows_of_2d_star(self):
+        s = star(2, 1, center=0.5, arm=[0.125])
+        rows = dict(iter_row_offsets(s))
+        assert set(rows) == {(-1,), (0,), (1,)}
+        assert rows[(0,)] == {
+            -1: pytest.approx(0.125), 0: pytest.approx(0.5),
+            1: pytest.approx(0.125),
+        }
+        assert rows[(1,)] == {0: pytest.approx(0.125)}
+
+    def test_rows_of_1d(self):
+        rows = list(iter_row_offsets(star(1, 1, center=0.5, arm=[0.25])))
+        assert len(rows) == 1
+        assert rows[0][0] == ()
+
+    def test_rows_of_3d_box_count(self):
+        rows = list(iter_row_offsets(box(3, 1)))
+        assert len(rows) == 9  # (z, y) pairs
