@@ -6,11 +6,14 @@ interpreter, and the threaded tile executor.  They demonstrate that the
 SDF low-rank structure is a genuine algorithmic saving even at the numpy
 level (separable kernels run fewer array passes than dense taps)."""
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.config import GENERIC_AVX2
 from repro.core import compile_kernel
+from repro.core.cache import KernelCache
 from repro.parallel.executor import run_parallel
 from repro.stencils import apply_steps, library
 from repro.stencils.grid import Grid
@@ -64,6 +67,55 @@ def test_tessellated_1d_time_blocking(benchmark):
     v = rng.uniform(size=1 << 14)
     out = benchmark(tessellate_1d, spec, v, 32, tile=1024)
     assert np.isfinite(out).all()
+
+
+def _cold_compile(spec, grid):
+    """One uncached compile: plan + SDF + full program generation."""
+    cache = KernelCache()  # fresh -> every stage misses
+    return cache.compile(spec, GENERIC_AVX2, grid).program
+
+
+def test_compile_cold(benchmark):
+    spec = library.get("box-2d9p")
+    grid = Grid((64, 96), (16, 16))
+    prog = benchmark(_cold_compile, spec, grid)
+    assert prog.body  # a real program came out
+
+
+def test_compile_cache_warm(benchmark):
+    spec = library.get("box-2d9p")
+    grid = Grid((64, 96), (16, 16))
+    cache = KernelCache()
+    cold = _cold_compile(spec, grid)
+    cache.compile(spec, GENERIC_AVX2, grid).program  # prime
+    warm = benchmark(lambda: cache.compile(spec, GENERIC_AVX2, grid).program)
+    assert warm == cold
+    assert cache.stats.hits >= 1 and cache.stats.misses == 1
+
+
+def test_compile_cache_speedup():
+    """Acceptance: a cache hit is >= 5x faster than a cold compile."""
+    spec = library.get("box-3d27p")
+    grid = Grid((8, 8, 96), (16, 16, 16))
+    reps = 5
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        _cold_compile(spec, grid)
+    cold = (time.perf_counter() - t0) / reps
+
+    cache = KernelCache()
+    cache.compile(spec, GENERIC_AVX2, grid).program  # prime
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        cache.compile(spec, GENERIC_AVX2, grid).program
+    warm = (time.perf_counter() - t0) / reps
+
+    assert cache.stats.hits >= reps
+    assert cold / warm >= 5.0, (
+        f"cache hit only {cold / warm:.1f}x faster "
+        f"(cold {cold * 1e3:.2f}ms, warm {warm * 1e3:.2f}ms)"
+    )
 
 
 @pytest.mark.parametrize("scheme", ["auto", "reorg", "jigsaw"])

@@ -8,6 +8,7 @@ Subcommands::
     estimate SCHEME KERNEL ...   modelled GStencil/s for a problem
     tune KERNEL ...              autotune blocking for a problem
     run KERNEL ...               execute the numpy path and time it
+    cache stats|clear            inspect / wipe the kernel compile cache
     experiments [ID ...]         regenerate paper tables/figures
 """
 
@@ -132,11 +133,14 @@ def cmd_tune(args) -> int:
 
 
 def cmd_run(args) -> int:
-    from .core import compile_kernel
+    from .core import compile_kernel, configure_default_cache
     from .stencils import library
     from .stencils.grid import Grid
     machine = get_machine(args.machine)
     spec = library.get(args.kernel)
+    cache = None
+    if args.cache_dir:
+        cache = configure_default_cache(args.cache_dir)
     template = compile_kernel(spec, machine, Grid(args.size, 16))
     grid = template.grid_like(args.size, seed=0)
     kernel = compile_kernel(spec, machine, grid)
@@ -148,6 +152,44 @@ def cmd_run(args) -> int:
     print(f"{spec.name}: {steps} steps over {'x'.join(map(str, args.size))} "
           f"in {dt:.3f}s ({points * steps / dt / 1e6:.1f} MStencil/s, "
           f"numpy path, plan: {kernel.plan.describe()})")
+    if cache is not None:
+        kernel.program  # lower through the disk cache so reruns hit it
+        s = cache.stats
+        print(f"cache: {s.hits} hit(s), {s.misses} miss(es) "
+              f"[{args.cache_dir}]")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from .core.cache import KernelCache, default_cache_dir
+    cache_dir = args.cache_dir or default_cache_dir()
+    cache = KernelCache(cache_dir)
+    if args.cache_cmd == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached kernel(s) from {cache_dir}")
+        return 0
+    # stats: persisted cumulative counters + current disk occupancy
+    import json
+    import os
+    totals = {}
+    stats_path = os.path.join(cache_dir, "_stats.json")
+    if os.path.exists(stats_path):
+        try:
+            with open(stats_path, "r", encoding="utf-8") as fh:
+                totals = json.load(fh)
+        except (OSError, ValueError):
+            totals = {}
+    count, size = cache.disk_entries()
+    print(render_dict(f"kernel cache @ {cache_dir}", {
+        "entries": count,
+        "bytes": size,
+        "hits": totals.get("hits", 0),
+        "misses": totals.get("misses", 0),
+        "disk hits": totals.get("disk_hits", 0),
+        "disk writes": totals.get("disk_writes", 0),
+        "disk discards": totals.get("disk_discards", 0),
+        "evictions": totals.get("evictions", 0),
+    }))
     return 0
 
 
@@ -206,8 +248,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("kernel")
     p.add_argument("--size", type=_size, required=True)
     p.add_argument("--steps", type=int, default=10)
+    p.add_argument("--cache-dir", default=None,
+                   help="persist compiled kernels to this directory")
     _add_machine_arg(p)
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("cache")
+    cache_sub = p.add_subparsers(dest="cache_cmd", required=True)
+    for sub_cmd in ("stats", "clear"):
+        pc = cache_sub.add_parser(sub_cmd)
+        pc.add_argument("--cache-dir", default=None,
+                        help="cache directory (default: $REPRO_CACHE_DIR "
+                             "or ~/.cache/repro/kernels)")
+    p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser("validate")
     p.add_argument("--machine", default=None,

@@ -15,6 +15,12 @@ from .itm import merged_spec, fusable
 from .planner import JigsawPlan, plan
 from .jigsaw import compile as compile_kernel, generate_jigsaw
 from .kernel import CompiledKernel
+from .cache import (
+    CacheStats,
+    KernelCache,
+    configure_default_cache,
+    default_cache,
+)
 
 __all__ = [
     "generate_lbv",
@@ -29,4 +35,8 @@ __all__ = [
     "compile_kernel",
     "generate_jigsaw",
     "CompiledKernel",
+    "CacheStats",
+    "KernelCache",
+    "configure_default_cache",
+    "default_cache",
 ]

@@ -1,0 +1,388 @@
+"""Content-addressed kernel compilation cache.
+
+Every call to :func:`repro.core.jigsaw.compile` used to re-plan, re-run
+the SDF decomposition, and re-generate the vector program from scratch.
+At service scale (many kernels, many repeated geometries) that is pure
+redundancy: the compile pipeline is a deterministic function of
+``(StencilSpec, MachineConfig, plan options, grid geometry)``.
+
+:class:`KernelCache` memoizes all three stages under content-addressed
+keys (SHA-256 over the canonical JSON of every input field, so *any*
+change to the spec, the machine, the plan options, or the grid geometry
+produces a different key):
+
+* **plans** — :class:`~repro.core.planner.JigsawPlan` objects (whose SDF
+  ``terms`` are themselves memoized per plan);
+* **programs** — generated :class:`~repro.vectorize.program.VectorProgram`
+  streams, in a bounded in-memory LRU and, when a ``cache_dir`` is
+  configured, as JSON artifacts on disk (the
+  :mod:`repro.machine.serialize` format).  Corrupted or stale disk
+  entries are discarded and recompiled, never trusted.
+
+Hit/miss/evict counters are exposed through :class:`CacheStats` and, for
+disk-backed caches, persisted to ``_stats.json`` so ``repro cache stats``
+can report across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..config import MachineConfig
+from ..machine.serialize import (
+    machine_to_dict,
+    program_from_dict,
+    program_to_dict,
+    spec_to_dict,
+    term_to_dict,
+)
+from ..stencils.grid import Grid
+from ..stencils.spec import StencilSpec
+from ..vectorize.driver import check_program_grid
+from ..vectorize.program import VectorProgram
+from .jigsaw import generate_jigsaw
+from .planner import JigsawPlan, plan as build_plan
+
+#: bump when the on-disk entry layout changes; older entries are discarded.
+ENTRY_FORMAT = 1
+
+#: persisted cumulative counters, one file per cache directory.
+STATS_FILE = "_stats.json"
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro/kernels``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "kernels")
+
+
+# -- content fingerprints ------------------------------------------------------
+
+def spec_fingerprint(spec: StencilSpec) -> Dict[str, Any]:
+    """Canonical JSON-compatible content of a spec (every field)."""
+    return spec_to_dict(spec)
+
+
+def machine_fingerprint(machine: MachineConfig) -> Dict[str, Any]:
+    """Canonical JSON-compatible content of a machine (every field,
+    cache hierarchy included)."""
+    return machine_to_dict(machine)
+
+
+def _digest(payload: Dict[str, Any]) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def plan_key(spec: StencilSpec, machine: MachineConfig, *,
+             time_fusion: Union[int, str] = "auto",
+             use_sdf: bool = True) -> str:
+    """Content hash identifying one planning request."""
+    return _digest({
+        "kind": "plan",
+        "spec": spec_fingerprint(spec),
+        "machine": machine_fingerprint(machine),
+        "time_fusion": time_fusion,
+        "use_sdf": use_sdf,
+    })
+
+
+def program_key(plan: JigsawPlan, grid: Grid) -> str:
+    """Content hash identifying one generated program: the plan inputs
+    plus the grid geometry the addresses were lowered against."""
+    return _digest({
+        "kind": "program",
+        "spec": spec_fingerprint(plan.spec),
+        "machine": machine_fingerprint(plan.machine),
+        "options": plan.cache_token(),
+        "grid": {"shape": list(grid.shape), "halo": list(grid.halo)},
+    })
+
+
+# -- statistics ----------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`KernelCache` (a live view, not a copy)."""
+
+    hits: int = 0            #: program served from memory or disk
+    misses: int = 0          #: program generated from scratch
+    evictions: int = 0       #: programs dropped from the in-memory LRU
+    plan_hits: int = 0
+    plan_misses: int = 0
+    disk_hits: int = 0       #: subset of ``hits`` loaded from cache_dir
+    disk_writes: int = 0
+    disk_discards: int = 0   #: corrupted/stale entries thrown away
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "disk_hits": self.disk_hits,
+            "disk_writes": self.disk_writes,
+            "disk_discards": self.disk_discards,
+        }
+
+    def reset(self) -> None:
+        for name in self.as_dict():
+            setattr(self, name, 0)
+
+
+class KernelCache:
+    """Memoizes the Jigsaw compile pipeline (see module docstring).
+
+    Thread-safe; safe to share across a :class:`~repro.service.KernelService`
+    compile pool.  ``cache_dir=None`` keeps the cache purely in memory.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None, *,
+                 max_entries: int = 512) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.cache_dir = cache_dir
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._plans: "OrderedDict[str, JigsawPlan]" = OrderedDict()
+        self._programs: "OrderedDict[str, VectorProgram]" = OrderedDict()
+        self._disk_base: Dict[str, int] = {}
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+            self._disk_base = _read_json(
+                os.path.join(cache_dir, STATS_FILE)) or {}
+
+    # -- plans -----------------------------------------------------------------
+    def plan(self, spec: StencilSpec, machine: MachineConfig, *,
+             time_fusion: Union[int, str] = "auto",
+             use_sdf: bool = True) -> JigsawPlan:
+        """Memoized :func:`repro.core.planner.plan`."""
+        key = plan_key(spec, machine, time_fusion=time_fusion,
+                       use_sdf=use_sdf)
+        with self._lock:
+            cached = self._plans.get(key)
+            if cached is not None:
+                self._plans.move_to_end(key)
+                self.stats.plan_hits += 1
+                return cached
+        built = build_plan(spec, machine, time_fusion=time_fusion,
+                           use_sdf=use_sdf)
+        with self._lock:
+            self.stats.plan_misses += 1
+            self._plans[key] = built
+            while len(self._plans) > self.max_entries:
+                self._plans.popitem(last=False)
+        return built
+
+    # -- programs --------------------------------------------------------------
+    def program(self, plan: JigsawPlan, grid: Grid) -> VectorProgram:
+        """The generated vector program for ``plan`` on ``grid``'s
+        geometry — from memory, then disk, then a fresh compile."""
+        key = program_key(plan, grid)
+        with self._lock:
+            cached = self._programs.get(key)
+            if cached is not None:
+                self._programs.move_to_end(key)
+                self.stats.hits += 1
+                return cached
+        loaded = self._load_entry(key, plan, grid)
+        if loaded is not None:
+            with self._lock:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._remember(key, loaded)
+            self._persist_stats()
+            return loaded
+        program = generate_jigsaw(
+            plan.spec, plan.machine, grid,
+            time_fusion=plan.time_fusion,
+            terms=plan.terms,
+            scheme=plan.scheme,
+        )
+        with self._lock:
+            self.stats.misses += 1
+            self._remember(key, program)
+        self._store_entry(key, plan, grid, program)
+        self._persist_stats()
+        return program
+
+    def compile(self, spec: StencilSpec, machine: MachineConfig, grid: Grid,
+                *, time_fusion: Union[int, str] = "auto",
+                use_sdf: bool = True):
+        """Cache-aware equivalent of :func:`repro.core.jigsaw.compile`."""
+        from .kernel import CompiledKernel
+        p = self.plan(spec, machine, time_fusion=time_fusion,
+                      use_sdf=use_sdf)
+        return CompiledKernel(plan=p, machine=machine, grid=grid, cache=self)
+
+    def _remember(self, key: str, program: VectorProgram) -> None:
+        self._programs[key] = program
+        while len(self._programs) > self.max_entries:
+            self._programs.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- disk persistence ------------------------------------------------------
+    def _entry_path(self, key: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def _load_entry(self, key: str, plan: JigsawPlan,
+                    grid: Grid) -> Optional[VectorProgram]:
+        path = self._entry_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        entry = _read_json(path)
+        try:
+            if (not isinstance(entry, dict)
+                    or entry.get("format") != ENTRY_FORMAT
+                    or entry.get("key") != key):
+                raise ValueError("malformed or stale cache entry")
+            program = program_from_dict(entry["program"])
+            if (program.width != plan.machine.vector_elems
+                    or program.elem_bytes != plan.machine.element_bytes):
+                raise ValueError("entry lowered for a different machine")
+            check_program_grid(program, grid)
+        except Exception:
+            # Anything wrong with a disk entry — unreadable JSON, an
+            # unknown opcode, a geometry mismatch — means recompile, not
+            # crash.  Drop the bad file so it is rebuilt cleanly.
+            with self._lock:
+                self.stats.disk_discards += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        return program
+
+    def _store_entry(self, key: str, plan: JigsawPlan, grid: Grid,
+                     program: VectorProgram) -> None:
+        path = self._entry_path(key)
+        if path is None:
+            return
+        entry = {
+            "format": ENTRY_FORMAT,
+            "key": key,
+            "spec": spec_fingerprint(plan.spec),
+            "machine": machine_fingerprint(plan.machine),
+            "options": plan.cache_token(),
+            "grid": {"shape": list(grid.shape), "halo": list(grid.halo)},
+            "terms": [term_to_dict(t) for t in plan.terms],
+            "program": program_to_dict(program),
+        }
+        try:
+            _write_json_atomic(path, entry)
+        except OSError:
+            return  # a read-only cache dir degrades to memory-only
+        with self._lock:
+            self.stats.disk_writes += 1
+
+    def _persist_stats(self) -> None:
+        if self.cache_dir is None:
+            return
+        with self._lock:
+            totals = {
+                k: self._disk_base.get(k, 0) + v
+                for k, v in self.stats.as_dict().items()
+            }
+        try:
+            _write_json_atomic(os.path.join(self.cache_dir, STATS_FILE),
+                               totals)
+        except OSError:
+            pass
+
+    # -- maintenance -----------------------------------------------------------
+    def clear(self, *, disk: bool = True) -> int:
+        """Drop every cached object; returns the number of disk entries
+        removed."""
+        removed = 0
+        with self._lock:
+            self._plans.clear()
+            self._programs.clear()
+        if disk and self.cache_dir is not None:
+            for name in os.listdir(self.cache_dir):
+                if name.endswith(".json") and name != STATS_FILE:
+                    try:
+                        os.remove(os.path.join(self.cache_dir, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def disk_entries(self) -> Tuple[int, int]:
+        """``(count, bytes)`` of persisted program entries."""
+        if self.cache_dir is None or not os.path.isdir(self.cache_dir):
+            return 0, 0
+        count = size = 0
+        for name in os.listdir(self.cache_dir):
+            if name.endswith(".json") and name != STATS_FILE:
+                count += 1
+                try:
+                    size += os.path.getsize(os.path.join(self.cache_dir, name))
+                except OSError:
+                    pass
+        return count, size
+
+    def stats_dict(self) -> Dict[str, int]:
+        """Session counters plus disk occupancy, for the stats API/CLI."""
+        out = dict(self.stats.as_dict())
+        count, size = self.disk_entries()
+        out["memory_programs"] = len(self._programs)
+        out["memory_plans"] = len(self._plans)
+        out["disk_entry_count"] = count
+        out["disk_entry_bytes"] = size
+        return out
+
+
+# -- module default ------------------------------------------------------------
+
+_default: Optional[KernelCache] = None
+_default_lock = threading.Lock()
+
+
+def default_cache() -> KernelCache:
+    """The process-wide in-memory cache :func:`repro.core.jigsaw.compile`
+    uses when no explicit cache is given."""
+    global _default
+    with _default_lock:
+        if _default is None:
+            _default = KernelCache()
+        return _default
+
+
+def configure_default_cache(cache_dir: Optional[str] = None, *,
+                            max_entries: int = 512) -> KernelCache:
+    """Replace the process-wide default cache (e.g. to attach a disk
+    directory); returns the new cache."""
+    global _default
+    with _default_lock:
+        _default = KernelCache(cache_dir, max_entries=max_entries)
+        return _default
+
+
+# -- small io helpers ----------------------------------------------------------
+
+def _read_json(path: str) -> Optional[Any]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def _write_json_atomic(path: str, payload: Any) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True)
+    os.replace(tmp, path)

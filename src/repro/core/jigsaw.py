@@ -253,10 +253,23 @@ def compile(
     grid: Grid,
     *,
     time_fusion: int | str = "auto",
+    cache=None,
 ):
     """Compile ``spec`` into a ready-to-run :class:`~repro.core.kernel.CompiledKernel`
-    (planner-selected fusion depth when ``time_fusion="auto"``)."""
-    from .planner import plan  # local import: planner imports this module
-    p = plan(spec, machine, time_fusion=time_fusion)
+    (planner-selected fusion depth when ``time_fusion="auto"``).
+
+    Planning, SDF decomposition, and program generation are memoized
+    through a :class:`~repro.core.cache.KernelCache`: pass one explicitly
+    via ``cache``, or leave it ``None`` to share the process-wide default
+    cache.  ``cache=False`` disables memoization entirely.
+    """
+    # local imports: planner/cache import this module
+    from .cache import default_cache
     from .kernel import CompiledKernel
-    return CompiledKernel(plan=p, machine=machine, grid=grid)
+    from .planner import plan
+    if cache is None:
+        cache = default_cache()
+    if cache is False:
+        p = plan(spec, machine, time_fusion=time_fusion)
+        return CompiledKernel(plan=p, machine=machine, grid=grid)
+    return cache.compile(spec, machine, grid, time_fusion=time_fusion)

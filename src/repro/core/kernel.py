@@ -38,6 +38,10 @@ class CompiledKernel:
     plan: JigsawPlan
     machine: MachineConfig
     grid: Grid  #: geometry template (shape + halo) programs are bound to
+    #: optional :class:`~repro.core.cache.KernelCache` the lowering is
+    #: memoized through (kernels from ``jigsaw.compile`` share the process
+    #: default cache)
+    cache: Optional[object] = None
 
     def __post_init__(self) -> None:
         self._program: Optional[VectorProgram] = None
@@ -46,14 +50,17 @@ class CompiledKernel:
     @property
     def program(self) -> VectorProgram:
         if self._program is None:
-            self._program = generate_jigsaw(
-                self.plan.spec,
-                self.machine,
-                self.grid,
-                time_fusion=self.plan.time_fusion,
-                terms=self.plan.terms,
-                scheme=self.plan.scheme,
-            )
+            if self.cache is not None:
+                self._program = self.cache.program(self.plan, self.grid)
+            else:
+                self._program = generate_jigsaw(
+                    self.plan.spec,
+                    self.machine,
+                    self.grid,
+                    time_fusion=self.plan.time_fusion,
+                    terms=self.plan.terms,
+                    scheme=self.plan.scheme,
+                )
         return self._program
 
     def halo(self) -> tuple:

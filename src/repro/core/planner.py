@@ -42,10 +42,21 @@ class JigsawPlan:
 
     @property
     def terms(self) -> List[Rank1Term]:
-        fused = self.fused_spec
-        if self.use_sdf:
-            return structured_terms(fused)
-        return rows_as_terms(fused)
+        # The decomposition (an SVD for SDF plans) is deterministic in the
+        # plan, so compute it once per plan object; the kernel cache shares
+        # plan objects across compiles, making this a process-wide memo.
+        cached = getattr(self, "_terms_memo", None)
+        if cached is None:
+            fused = self.fused_spec
+            cached = (structured_terms(fused) if self.use_sdf
+                      else rows_as_terms(fused))
+            object.__setattr__(self, "_terms_memo", cached)
+        return cached
+
+    def cache_token(self) -> dict:
+        """The plan options that participate in kernel-cache keys (the
+        spec and machine are fingerprinted separately)."""
+        return {"time_fusion": self.time_fusion, "use_sdf": self.use_sdf}
 
     @property
     def scheme(self) -> str:

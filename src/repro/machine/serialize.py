@@ -11,6 +11,7 @@ dicts.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from typing import Any, Dict, Optional
 
@@ -101,6 +102,49 @@ def _spec_from_dict(d: Optional[Dict[str, Any]]) -> Optional[StencilSpec]:
         ndim=int(d["ndim"]),
         offsets=tuple(tuple(int(x) for x in o) for o in d["offsets"]),
         coeffs=tuple(float(c) for c in d["coeffs"]),
+    )
+
+
+#: public aliases — the kernel cache (:mod:`repro.core.cache`) and external
+#: tools persist specs alongside programs.
+def spec_to_dict(spec: Optional[StencilSpec]) -> Optional[Dict[str, Any]]:
+    return _spec_to_dict(spec)
+
+
+def spec_from_dict(d: Optional[Dict[str, Any]]) -> Optional[StencilSpec]:
+    return _spec_from_dict(d)
+
+
+def machine_to_dict(machine) -> Dict[str, Any]:
+    """Canonical JSON-compatible form of a
+    :class:`~repro.config.MachineConfig` (every field, caches included) —
+    the content the kernel cache fingerprints, so *any* machine change
+    produces a different dict."""
+    return dataclasses.asdict(machine)
+
+
+def machine_from_dict(d: Dict[str, Any]):
+    from ..config import CacheLevel, MachineConfig
+    d = dict(d)
+    d["caches"] = tuple(CacheLevel(**lvl) for lvl in d.get("caches", ()))
+    return MachineConfig(**d)
+
+
+def term_to_dict(term) -> Dict[str, Any]:
+    """One SDF :class:`~repro.core.sdf.Rank1Term` as plain JSON data."""
+    return {
+        "u": [[list(outer), c] for outer, c in sorted(term.u.items())],
+        "v": [[int(dx), c] for dx, c in sorted(term.v.items())],
+        "sigma": term.sigma,
+    }
+
+
+def term_from_dict(d: Dict[str, Any]):
+    from ..core.sdf import Rank1Term
+    return Rank1Term(
+        u={tuple(int(x) for x in outer): float(c) for outer, c in d["u"]},
+        v={int(dx): float(c) for dx, c in d["v"]},
+        sigma=float(d["sigma"]),
     )
 
 

@@ -5,12 +5,13 @@ and a real shared-memory thread-pool executor for the numpy path.
 
 from .topology import CoreAllocation, allocate_cores
 from .simulator import MulticoreModel
-from .executor import run_parallel, apply_tile
+from .executor import BACKENDS, run_parallel, apply_tile
 
 __all__ = [
     "CoreAllocation",
     "allocate_cores",
     "MulticoreModel",
+    "BACKENDS",
     "run_parallel",
     "apply_tile",
 ]

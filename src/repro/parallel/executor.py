@@ -1,17 +1,33 @@
 """Real shared-memory parallel execution of stencil sweeps.
 
 Runs each phase of a :class:`~repro.tiling.schedule.TileSchedule`
-concurrently on a thread pool (numpy ufuncs release the GIL, so tiles
-genuinely overlap), with a barrier between phases — the OpenMP structure
-the paper's runs use, in Python form.  Jacobi sweeps with distinct in/out
+concurrently, with a barrier between phases — the OpenMP structure the
+paper's runs use, in Python form.  Jacobi sweeps with distinct in/out
 buffers make every tile of a sweep independent, so the default schedule is
 a single phase.
+
+Two backends:
+
+* ``"thread"`` (default) — a :class:`~concurrent.futures.ThreadPoolExecutor`
+  writing tiles directly into the shared output buffer (numpy ufuncs
+  release the GIL, so tiles genuinely overlap);
+* ``"process"`` (opt-in) — a
+  :class:`~concurrent.futures.ProcessPoolExecutor`: each worker computes
+  its tile on a pickled copy of the input grid and returns the tile patch,
+  which the parent writes back.  Heavier per-sweep traffic, but immune to
+  GIL-bound tile kernels (pure-Python inner work) and a building block for
+  multi-node dispatch.
+
+Both backends are bitwise deterministic: a tile's result depends only on
+the input grid, never on scheduling, and patches land in disjoint output
+slices — so any worker count, and either backend, produces identical
+grids from the same inputs (guarded by ``tests/test_parallel.py``).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,6 +37,9 @@ from ..stencils.grid import Grid
 from ..stencils.spec import StencilSpec
 from ..tiling.blocks import Tile
 from ..tiling.schedule import TileSchedule, build_schedule
+
+#: executor backends accepted by :func:`run_parallel`.
+BACKENDS: Tuple[str, ...] = ("thread", "process")
 
 
 def apply_tile(spec: StencilSpec, grid: Grid, out: Grid, tile: Tile) -> None:
@@ -35,6 +54,15 @@ def apply_tile(spec: StencilSpec, grid: Grid, out: Grid, tile: Tile) -> None:
         np.add(dst, c * grid.data[sl], out=dst)
 
 
+def _sweep_tile_patch(args) -> np.ndarray:
+    """Process-pool worker: compute one tile's sweep on a private copy of
+    the grid and return the dense patch (module-level for picklability)."""
+    spec, grid, tile = args
+    out = grid.like()
+    apply_tile(spec, grid, out, tile)
+    return np.ascontiguousarray(out.data[tile.slices(out.halo)])
+
+
 def run_parallel(
     spec: StencilSpec,
     grid: Grid,
@@ -45,17 +73,24 @@ def run_parallel(
     boundary: str = "periodic",
     value: float = 0.0,
     schedule: Optional[TileSchedule] = None,
+    backend: str = "thread",
 ) -> Grid:
     """``steps`` parallel Jacobi sweeps; returns a new grid.
 
     ``tile_shape`` defaults to splitting the outermost axis across
     ``workers``.  A custom ``schedule`` overrides the default
-    single-phase blocking.
+    single-phase blocking.  ``backend`` selects the executor (see the
+    module docstring); results are bitwise identical across backends and
+    worker counts.
     """
     if steps < 0:
         raise TilingError("steps must be non-negative")
     if workers < 1:
         raise TilingError("workers must be >= 1")
+    if backend not in BACKENDS:
+        raise TilingError(
+            f"unknown executor backend {backend!r}; known: {BACKENDS}"
+        )
     if schedule is None:
         if tile_shape is None:
             chunk = max(1, -(-grid.shape[0] // max(1, workers)))
@@ -63,6 +98,19 @@ def run_parallel(
         schedule = build_schedule(grid.shape, tile_shape)
     cur = grid.copy()
     nxt = grid.like()
+    if backend == "process":
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for _ in range(steps):
+                fill_halo(cur, boundary, value=value)
+                for phase in schedule.phases:
+                    # barrier per phase: zip over map waits for every tile;
+                    # the parent owns all writes, in tile order.
+                    tasks = [(spec, cur, t) for t in phase]
+                    for tile, patch in zip(phase,
+                                           pool.map(_sweep_tile_patch, tasks)):
+                        nxt.data[tile.slices(nxt.halo)] = patch
+                cur, nxt = nxt, cur
+        return cur
     with ThreadPoolExecutor(max_workers=workers) as pool:
         for _ in range(steps):
             fill_halo(cur, boundary, value=value)

@@ -1,0 +1,178 @@
+"""The batched kernel service: compile many, run many.
+
+:class:`KernelService` is the production-facing front-end the ROADMAP's
+scale goal asks for.  It owns one machine model, one
+:class:`~repro.core.cache.KernelCache` (shared by every compile, so
+repeated and concurrent requests for the same kernel pay for compilation
+once), and an execution configuration for the tiled numpy path:
+
+* :meth:`compile_many` — deduplicates a batch of compile requests by
+  content key and compiles the distinct ones concurrently on a thread
+  pool (the SVD and numpy work release the GIL);
+* :meth:`run_many` — dispatches a batch of sweep jobs through
+  :func:`repro.parallel.executor.run_parallel`, each job tiled across the
+  service's workers on the configured backend (thread pool by default,
+  the opt-in process pool for GIL-heavy tiles).
+
+Usage::
+
+    svc = KernelService(GENERIC_AVX2, cache_dir="~/.cache/repro/kernels")
+    kernels = svc.compile_many([
+        CompileRequest(library.get("heat-2d"), (512, 512)),
+        CompileRequest(library.get("box-2d9p"), (512, 512)),
+    ])
+    grids = svc.run_many([SweepJob(k.plan.spec, k.grid_like(k.grid.shape,
+                                                            seed=0), steps=4)
+                          for k in kernels])
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .config import MachineConfig
+from .core.cache import KernelCache, plan_key
+from .core.jigsaw import required_halo
+from .core.kernel import CompiledKernel
+from .errors import ReproError
+from .parallel.executor import BACKENDS, run_parallel
+from .stencils.grid import Grid
+from .stencils.spec import StencilSpec
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One kernel to compile: a spec plus the interior shape it will run
+    on (the halo is derived from the plan)."""
+
+    spec: StencilSpec
+    shape: Tuple[int, ...]
+    time_fusion: Union[int, str] = "auto"
+    use_sdf: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape",
+                           tuple(int(s) for s in self.shape))
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One batch-execution job: ``steps`` Jacobi sweeps of ``spec`` over
+    ``grid`` on the tiled executor."""
+
+    spec: StencilSpec
+    grid: Grid
+    steps: int
+    boundary: str = "periodic"
+    value: float = 0.0
+    tile_shape: Optional[Tuple[int, ...]] = field(default=None)
+
+
+class KernelService:
+    """Batch compile-and-run front-end (see module docstring)."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        *,
+        cache: Optional[KernelCache] = None,
+        cache_dir: Optional[str] = None,
+        compile_workers: int = 4,
+        run_workers: int = 4,
+        run_backend: str = "thread",
+    ) -> None:
+        if cache is not None and cache_dir is not None:
+            raise ReproError("pass either cache or cache_dir, not both")
+        if run_backend not in BACKENDS:
+            raise ReproError(
+                f"unknown run backend {run_backend!r}; known: {BACKENDS}"
+            )
+        if compile_workers < 1 or run_workers < 1:
+            raise ReproError("worker counts must be >= 1")
+        if cache is None:
+            cache = KernelCache(
+                os.path.expanduser(cache_dir) if cache_dir else None
+            )
+        self.machine = machine
+        self.cache = cache
+        self.compile_workers = compile_workers
+        self.run_workers = run_workers
+        self.run_backend = run_backend
+
+    # -- compilation -----------------------------------------------------------
+    def compile(self, spec: StencilSpec, shape: Sequence[int], *,
+                time_fusion: Union[int, str] = "auto",
+                use_sdf: bool = True) -> CompiledKernel:
+        """Compile one kernel through the service cache.
+
+        The program is lowered eagerly so the returned kernel is
+        ready-to-run (and the expensive work is behind the cache)."""
+        plan = self.cache.plan(spec, self.machine,
+                               time_fusion=time_fusion, use_sdf=use_sdf)
+        halo = required_halo(spec, self.machine,
+                             time_fusion=plan.time_fusion)
+        grid = Grid(tuple(shape), halo)
+        kernel = CompiledKernel(plan=plan, machine=self.machine, grid=grid,
+                                cache=self.cache)
+        kernel.program  # force lowering through the cache
+        return kernel
+
+    def compile_many(
+        self,
+        requests: Sequence[Union[CompileRequest, Tuple]],
+    ) -> List[CompiledKernel]:
+        """Compile a batch, deduplicating identical requests and lowering
+        the distinct ones concurrently.  Results are returned in request
+        order; duplicate requests share one compiled kernel."""
+        reqs = [r if isinstance(r, CompileRequest) else CompileRequest(*r)
+                for r in requests]
+        distinct: Dict[Tuple[str, Tuple[int, ...]], CompileRequest] = {}
+        for r in reqs:
+            k = self._request_key(r)
+            distinct.setdefault(k, r)
+        compiled: Dict[Tuple[str, Tuple[int, ...]], CompiledKernel] = {}
+        if distinct:
+            workers = min(self.compile_workers, len(distinct))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    k: pool.submit(self.compile, r.spec, r.shape,
+                                   time_fusion=r.time_fusion,
+                                   use_sdf=r.use_sdf)
+                    for k, r in distinct.items()
+                }
+                compiled = {k: f.result() for k, f in futures.items()}
+        return [compiled[self._request_key(r)] for r in reqs]
+
+    def _request_key(self, r: CompileRequest) -> Tuple[str, Tuple[int, ...]]:
+        return (plan_key(r.spec, self.machine, time_fusion=r.time_fusion,
+                         use_sdf=r.use_sdf), r.shape)
+
+    # -- execution -------------------------------------------------------------
+    def run(self, job: SweepJob) -> Grid:
+        """Execute one sweep job on the tiled parallel executor."""
+        return run_parallel(
+            job.spec, job.grid, job.steps,
+            tile_shape=job.tile_shape,
+            workers=self.run_workers,
+            boundary=job.boundary,
+            value=job.value,
+            backend=self.run_backend,
+        )
+
+    def run_many(self, jobs: Sequence[Union[SweepJob, Tuple]]) -> List[Grid]:
+        """Execute a batch of sweep jobs.  Jobs run one after another,
+        each internally tiled across the service's workers (a job already
+        saturates them; overlapping jobs would just thrash the pool)."""
+        jobs = [j if isinstance(j, SweepJob) else SweepJob(*j) for j in jobs]
+        return [self.run(j) for j in jobs]
+
+    # -- introspection -----------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """The service cache's hit/miss/evict counters + disk occupancy."""
+        return self.cache.stats_dict()
+
+
+__all__ = ["CompileRequest", "SweepJob", "KernelService"]

@@ -22,6 +22,33 @@ from ..stencils.grid import Grid
 from .program import VectorProgram
 
 
+def check_program_grid(program: VectorProgram, grid: Grid) -> None:
+    """Raise :class:`~repro.errors.VectorizeError` unless ``grid`` can
+    drive ``program``: matching element width, and either a block-aligned
+    x extent or a ``tail_spec`` for the scalar epilogue.
+
+    Shared by :func:`run_program` and the kernel cache
+    (:mod:`repro.core.cache`), which uses it to reject stale or corrupted
+    on-disk entries before they reach execution.
+    """
+    if grid.data.itemsize != program.elem_bytes:
+        raise VectorizeError(
+            f"grid dtype {grid.data.dtype} ({grid.data.itemsize}B) does not "
+            f"match the program's {program.elem_bytes}B elements"
+        )
+    nx = grid.shape[-1]
+    covered = program.x_loop.trip_count * program.block
+    if covered > nx:
+        raise VectorizeError(
+            f"program covers {covered} x elements but the grid has {nx}"
+        )
+    if nx - covered and program.tail_spec is None:
+        raise VectorizeError(
+            f"x extent {nx} leaves a {nx - covered}-element remainder but "
+            f"the program carries no tail_spec for the scalar epilogue"
+        )
+
+
 def run_program(
     program: VectorProgram,
     grid: Grid,
@@ -48,21 +75,12 @@ def run_program(
         raise VectorizeError(
             "temporally merged programs are exact only with periodic boundaries"
         )
-    if grid.data.itemsize != program.elem_bytes:
-        raise VectorizeError(
-            f"grid dtype {grid.data.dtype} ({grid.data.itemsize}B) does not "
-            f"match the program's {program.elem_bytes}B elements"
-        )
+    check_program_grid(program, grid)
     machine = SimdMachine(program.width, elem_bytes=program.elem_bytes,
                           mem_hook=mem_hook)
     nx = grid.shape[-1]
     covered = program.x_loop.trip_count * program.block
     tail = nx - covered
-    if tail and program.tail_spec is None:
-        raise VectorizeError(
-            f"x extent {nx} leaves a {tail}-element remainder but the "
-            f"program carries no tail_spec for the scalar epilogue"
-        )
     cur = grid.copy()
     nxt = grid.like()
     for _ in range(steps // s):

@@ -1,0 +1,253 @@
+"""Property tests for the kernel compilation cache
+(:mod:`repro.core.cache`).
+
+Three invariants matter:
+
+1. a cache hit (memory or disk) returns a program identical to a cold
+   compile;
+2. the key is content-addressed — *any* change to the spec, the machine,
+   the plan options, or the grid geometry changes it;
+3. a corrupted on-disk entry is discarded and recompiled, never trusted
+   and never fatal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import GENERIC_AVX2, GENERIC_AVX2_F32, GENERIC_AVX512
+from repro.core import compile_kernel
+from repro.core.cache import (
+    ENTRY_FORMAT,
+    KernelCache,
+    configure_default_cache,
+    default_cache,
+    plan_key,
+    program_key,
+)
+from repro.machine.serialize import program_to_dict
+from repro.stencils import apply_steps, library
+from repro.stencils.grid import Grid
+from repro.stencils.spec import StencilSpec, star
+from repro.vectorize.program import VectorProgram
+
+SPEC = library.get("box-2d9p")
+SHAPE = (8, 96)
+
+
+def _grid(machine=GENERIC_AVX2, shape=SHAPE):
+    return Grid(shape, (16,) * len(shape))
+
+
+def _cold_program(spec=SPEC, machine=GENERIC_AVX2, grid=None) -> VectorProgram:
+    grid = grid if grid is not None else _grid(machine)
+    return KernelCache().compile(spec, machine, grid).program
+
+
+class TestHitIdentity:
+    def test_memory_hit_identical_to_cold(self):
+        cache = KernelCache()
+        grid = _grid()
+        cold = _cold_program()
+        first = cache.compile(SPEC, GENERIC_AVX2, grid).program
+        second = cache.compile(SPEC, GENERIC_AVX2, grid).program
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        assert first == cold and second == cold
+        assert program_to_dict(second) == program_to_dict(cold)
+
+    def test_disk_hit_identical_to_cold(self, tmp_path):
+        grid = _grid()
+        cold = _cold_program()
+        writer = KernelCache(str(tmp_path))
+        writer.compile(SPEC, GENERIC_AVX2, grid).program
+        assert writer.stats.disk_writes == 1
+        reader = KernelCache(str(tmp_path))  # fresh memory, warm disk
+        prog = reader.compile(SPEC, GENERIC_AVX2, grid).program
+        assert reader.stats.disk_hits == 1 and reader.stats.misses == 0
+        assert prog == cold
+        assert program_to_dict(prog) == program_to_dict(cold)
+        # the tail spec survives the round trip (execution needs it)
+        assert prog.tail_spec == cold.tail_spec
+
+    def test_cached_program_executes_identically(self, tmp_path):
+        spec = library.get("heat-2d")
+        shape = (32, 96)
+        writer = KernelCache(str(tmp_path))
+        k1 = writer.compile(spec, GENERIC_AVX2, _grid(shape=shape))
+        g = Grid.random(shape, k1.grid.halo, seed=5)
+        a = k1.run(g, k1.plan.time_fusion)
+        reader = KernelCache(str(tmp_path))
+        k2 = reader.compile(spec, GENERIC_AVX2, _grid(shape=shape))
+        b = k2.run(g, k2.plan.time_fusion)
+        assert reader.stats.disk_hits == 1
+        assert np.array_equal(a.data, b.data)
+        ref = apply_steps(spec, g, k1.plan.time_fusion)
+        assert np.allclose(a.interior, ref.interior, rtol=1e-12)
+
+
+class TestKeySensitivity:
+    def test_coefficient_change_changes_key(self):
+        other = SPEC.scaled(1.0 + 1e-9)
+        assert plan_key(SPEC, GENERIC_AVX2) != plan_key(other, GENERIC_AVX2)
+
+    def test_offset_change_changes_key(self):
+        spec = star(2, 1, center=-4.0, arm=[1.0], name="k")
+        moved = StencilSpec(
+            name="k", ndim=2,
+            offsets=tuple((o[0], o[1] + (1 if o == (0, 1) else 0))
+                          for o in spec.offsets),
+            coeffs=spec.coeffs,
+        )
+        assert plan_key(spec, GENERIC_AVX2) != plan_key(moved, GENERIC_AVX2)
+
+    def test_name_change_changes_key(self):
+        assert (plan_key(SPEC, GENERIC_AVX2)
+                != plan_key(SPEC.renamed("other"), GENERIC_AVX2))
+
+    @pytest.mark.parametrize("mutation", [
+        {"vector_bits": 512},
+        {"element_bytes": 4},
+        {"freq_ghz": 3.0},
+        {"vector_registers": 32},
+        {"name": "other-machine"},
+    ])
+    def test_machine_change_changes_key(self, mutation):
+        other = dataclasses.replace(GENERIC_AVX2, **mutation)
+        assert plan_key(SPEC, GENERIC_AVX2) != plan_key(SPEC, other)
+
+    def test_plan_options_change_key(self):
+        base = plan_key(SPEC, GENERIC_AVX2)
+        assert base != plan_key(SPEC, GENERIC_AVX2, time_fusion=1)
+        assert base != plan_key(SPEC, GENERIC_AVX2, use_sdf=False)
+
+    def test_grid_geometry_changes_program_key(self):
+        cache = KernelCache()
+        plan = cache.plan(SPEC, GENERIC_AVX2)
+        assert (program_key(plan, _grid(shape=(8, 96)))
+                != program_key(plan, _grid(shape=(8, 192))))
+        assert (program_key(plan, Grid((8, 96), 16))
+                != program_key(plan, Grid((8, 96), 18)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(scale=st.floats(min_value=1e-6, max_value=10.0,
+                           allow_nan=False, allow_infinity=False),
+           machine=st.sampled_from([GENERIC_AVX2, GENERIC_AVX512,
+                                    GENERIC_AVX2_F32]))
+    def test_any_scaling_perturbs_key(self, scale, machine):
+        base = plan_key(SPEC, machine)
+        scaled = SPEC.scaled(scale)
+        same_content = scaled.coeffs == SPEC.coeffs and scaled.name == SPEC.name
+        assert (plan_key(scaled, machine) == base) == same_content
+
+    def test_distinct_machines_cache_separately(self):
+        cache = KernelCache()
+        p1 = cache.compile(SPEC, GENERIC_AVX2, _grid()).program
+        p2 = cache.compile(SPEC, GENERIC_AVX512, _grid(GENERIC_AVX512)).program
+        assert cache.stats.misses == 2
+        assert p1.width != p2.width
+
+
+class TestDiskRobustness:
+    def _entry_paths(self, tmp_path):
+        return [p for p in os.listdir(tmp_path)
+                if p.endswith(".json") and not p.startswith("_")]
+
+    def test_corrupted_entry_recompiles(self, tmp_path):
+        cold = _cold_program()
+        cache = KernelCache(str(tmp_path))
+        cache.compile(SPEC, GENERIC_AVX2, _grid()).program
+        (entry,) = self._entry_paths(tmp_path)
+        path = os.path.join(tmp_path, entry)
+        with open(path, "w") as fh:
+            fh.write("{ this is not json")
+        fresh = KernelCache(str(tmp_path))
+        prog = fresh.compile(SPEC, GENERIC_AVX2, _grid()).program
+        assert fresh.stats.disk_discards == 1
+        assert fresh.stats.misses == 1  # recompiled, did not crash
+        assert prog == cold
+        # the bad file was replaced by a good entry
+        again = KernelCache(str(tmp_path))
+        assert again.compile(SPEC, GENERIC_AVX2, _grid()).program == cold
+        assert again.stats.disk_hits == 1
+
+    @pytest.mark.parametrize("mangle", [
+        lambda e: {**e, "format": ENTRY_FORMAT + 1},
+        lambda e: {**e, "key": "0" * 64},
+        lambda e: {**e, "program": {**e["program"], "width": 3}},
+        lambda e: {**e, "program": {
+            **e["program"],
+            "body": [{**i, "op": "bogus-op"} for i in e["program"]["body"]],
+        }},
+    ])
+    def test_mangled_entries_discarded(self, tmp_path, mangle):
+        cache = KernelCache(str(tmp_path))
+        cache.compile(SPEC, GENERIC_AVX2, _grid()).program
+        (entry,) = self._entry_paths(tmp_path)
+        path = os.path.join(tmp_path, entry)
+        with open(path) as fh:
+            payload = json.load(fh)
+        with open(path, "w") as fh:
+            json.dump(mangle(payload), fh)
+        fresh = KernelCache(str(tmp_path))
+        prog = fresh.compile(SPEC, GENERIC_AVX2, _grid()).program
+        assert fresh.stats.disk_discards == 1
+        assert prog == _cold_program()
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = KernelCache(str(tmp_path))
+        cache.compile(SPEC, GENERIC_AVX2, _grid()).program
+        assert cache.disk_entries()[0] == 1
+        assert cache.clear() == 1
+        assert cache.disk_entries() == (0, 0)
+        # post-clear compiles still work
+        assert cache.compile(SPEC, GENERIC_AVX2, _grid()).program.body
+
+
+class TestStatsAndEviction:
+    def test_lru_eviction_counted(self):
+        cache = KernelCache(max_entries=2)
+        specs = [library.get(n) for n in ("heat-1d", "star-1d5p", "star-1d7p")]
+        for s in specs:
+            cache.compile(s, GENERIC_AVX2, Grid((96,), 16)).program
+        assert cache.stats.evictions == 1
+        assert cache.stats_dict()["memory_programs"] == 2
+
+    def test_stats_dict_shape(self, tmp_path):
+        cache = KernelCache(str(tmp_path))
+        cache.compile(SPEC, GENERIC_AVX2, _grid()).program
+        d = cache.stats_dict()
+        for key in ("hits", "misses", "evictions", "disk_hits",
+                    "disk_writes", "disk_discards", "disk_entry_count",
+                    "disk_entry_bytes"):
+            assert key in d
+        assert d["disk_entry_count"] == 1 and d["disk_entry_bytes"] > 0
+
+    def test_persisted_stats_accumulate(self, tmp_path):
+        for _ in range(2):
+            c = KernelCache(str(tmp_path))
+            c.compile(SPEC, GENERIC_AVX2, _grid()).program
+        with open(os.path.join(tmp_path, "_stats.json")) as fh:
+            totals = json.load(fh)
+        assert totals["misses"] == 1 and totals["disk_hits"] == 1
+
+    def test_default_cache_is_shared_and_replaceable(self):
+        replaced = configure_default_cache()
+        try:
+            assert default_cache() is replaced
+            k1 = compile_kernel(SPEC, GENERIC_AVX2, _grid())
+            k2 = compile_kernel(SPEC, GENERIC_AVX2, _grid())
+            k1.program, k2.program
+            assert replaced.stats.hits >= 1
+            # cache=False bypasses memoization entirely
+            before = replaced.stats.as_dict()
+            compile_kernel(SPEC, GENERIC_AVX2, _grid(), cache=False).program
+            assert replaced.stats.as_dict() == before
+        finally:
+            configure_default_cache()

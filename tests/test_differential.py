@@ -1,0 +1,147 @@
+"""Differential test harness: random stencils, every scheme, one truth.
+
+Hypothesis generates random :class:`~repro.stencils.spec.StencilSpec`s
+(1-D/2-D/3-D, star and box, float64 and float32) and random initial
+grids; for each, the **jigsaw**, **multiple-loads** (``auto``) and
+**multiple-permutations** (``reorg``) lowerings are executed for 1-4 time
+steps on the cycle-exact SIMD interpreter and compared against the numpy
+reference sweep within a small ulp budget (the schemes reassociate the
+same sums, so bitwise equality is only expected up to rounding).
+
+The example budget is controlled by ``REPRO_DIFF_EXAMPLES`` (per test
+function; each example exercises all three schemes).  The local default
+of 40 yields 2 x 40 x 3 = 240 spec/scheme combinations; CI caps it lower
+(see ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import GENERIC_AVX2, GENERIC_AVX2_F32
+from repro.schemes import generate, scheme_halo
+from repro.stencils import apply_steps
+from repro.stencils.grid import Grid
+from repro.stencils.spec import StencilSpec, box, star
+from repro.vectorize.driver import run_program
+
+#: examples per test function; every example runs all DIFF_SCHEMES.
+EXAMPLES = int(os.environ.get("REPRO_DIFF_EXAMPLES", "40"))
+
+#: the three independently-derived lowerings under differential test.
+DIFF_SCHEMES = ("jigsaw", "auto", "reorg")
+
+#: machine-representable coefficients keep the ulp accounting honest
+#: (they are still arbitrary enough to break any wrong-tap lowering).
+COEFFS = st.sampled_from(
+    [-2.0, -1.5, -1.0, -0.5, -0.25, 0.125, 0.25, 0.5, 0.75, 1.0, 2.0]
+)
+
+DIFF_SETTINGS = settings(
+    max_examples=EXAMPLES,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def star_specs(draw) -> StencilSpec:
+    ndim = draw(st.integers(min_value=1, max_value=3))
+    radius = draw(st.integers(min_value=1, max_value=2))
+    center = draw(COEFFS)
+    arm = [draw(COEFFS) for _ in range(radius)]
+    return star(ndim, radius, center=center, arm=arm,
+                name=f"diff-star-{ndim}d-r{radius}")
+
+
+@st.composite
+def box_specs(draw) -> StencilSpec:
+    ndim = draw(st.integers(min_value=1, max_value=3))
+    # 3-D boxes stay at radius 1 (125-point kernels only slow the
+    # interpreter without adding lowering coverage).
+    radius = draw(st.integers(min_value=1, max_value=1 if ndim == 3 else 2))
+    side = 2 * radius + 1
+    flat = [draw(COEFFS) for _ in range(side**ndim)]
+    weights = np.array(flat).reshape((side,) * ndim)
+    return box(ndim, radius, weights, name=f"diff-box-{ndim}d-r{radius}")
+
+
+random_specs = st.one_of(star_specs(), box_specs())
+
+
+def _assert_ulp_close(got: np.ndarray, want: np.ndarray, *, spec, steps,
+                      scheme) -> None:
+    """`got` within an ulp budget of `want`, scaled to the result's
+    magnitude (reassociation error grows with taps and steps)."""
+    dt = want.dtype.type
+    scale = max(float(np.max(np.abs(want))), float(np.finfo(dt).tiny))
+    ulp = float(np.spacing(dt(scale)))
+    budget = 64.0 * spec.npoints * steps
+    worst = float(np.max(np.abs(got - want)))
+    assert worst <= budget * ulp, (
+        f"{scheme}/{spec.tag}: max |diff| {worst:.3e} exceeds "
+        f"{budget:.0f} ulp ({budget * ulp:.3e}) after {steps} step(s)"
+    )
+
+
+def _differential_case(machine, dtype, spec, steps, seed):
+    """Run every scheme for one random case against the reference."""
+    width = machine.vector_elems
+    nx = 6 * width  # divisible by every scheme block (W and 2W)
+    shape = (3,) * (spec.ndim - 1) + (nx,)
+    reference = None
+    for scheme in DIFF_SCHEMES:
+        halo = scheme_halo(scheme, spec, machine)
+        grid = Grid.random(shape, halo, seed=seed, dtype=dtype)
+        if reference is None:
+            reference = apply_steps(spec, grid, steps)
+        program = generate(scheme, spec, machine, grid)
+        got = run_program(program, grid, steps)
+        _assert_ulp_close(got.interior, reference.interior, spec=spec,
+                          steps=steps, scheme=scheme)
+
+
+@DIFF_SETTINGS
+@given(spec=random_specs, steps=st.integers(min_value=1, max_value=4),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_schemes_match_reference_f64(spec, steps, seed):
+    _differential_case(GENERIC_AVX2, np.float64, spec, steps, seed)
+
+
+@DIFF_SETTINGS
+@given(spec=random_specs, steps=st.integers(min_value=1, max_value=4),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_schemes_match_reference_f32(spec, steps, seed):
+    _differential_case(GENERIC_AVX2_F32, np.float32, spec, steps, seed)
+
+
+def test_budget_meets_acceptance_floor():
+    """With the default budget the harness exercises >= 200 spec/scheme
+    combinations (2 dtype tests x EXAMPLES x 3 schemes); CI may lower it
+    explicitly via REPRO_DIFF_EXAMPLES."""
+    combos = 2 * EXAMPLES * len(DIFF_SCHEMES)
+    if "REPRO_DIFF_EXAMPLES" in os.environ:
+        pytest.skip(f"budget overridden ({combos} combinations)")
+    assert combos >= 200
+
+
+def test_known_failure_is_caught():
+    """The harness must actually discriminate: a deliberately perturbed
+    coefficient fails the ulp budget."""
+    spec = star(2, 1, center=-4.0, arm=[1.0], name="canary")
+    bad = StencilSpec(name="canary-bad", ndim=2, offsets=spec.offsets,
+                      coeffs=tuple(c + (1e-6 if i == 0 else 0.0)
+                                   for i, c in enumerate(spec.coeffs)))
+    halo = scheme_halo("jigsaw", spec, GENERIC_AVX2)
+    grid = Grid.random((3, 24), halo, seed=0)
+    reference = apply_steps(bad, grid, 1)
+    program = generate("jigsaw", spec, GENERIC_AVX2, grid)
+    got = run_program(program, grid, 1)
+    with pytest.raises(AssertionError):
+        _assert_ulp_close(got.interior, reference.interior, spec=spec,
+                          steps=1, scheme="jigsaw")

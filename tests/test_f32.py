@@ -109,12 +109,27 @@ class TestMachineDtype:
         assert m.dtype is np.float32 and m.epl == 4
 
 
+def _f32_shift_cases():
+    """(width, d) matrix for the f32 shift chains.  d <= width must
+    execute; beyond the register pair is a hard rejection, marked
+    xfail(strict) so the supported range can only widen deliberately."""
+    for width in (4, 8, 16):
+        for d in range(0, 17):
+            if d <= width:
+                yield pytest.param(width, d)
+            else:
+                yield pytest.param(
+                    width, d,
+                    marks=pytest.mark.xfail(
+                        strict=True, raises=VectorizeError,
+                        reason=f"shift {d} exceeds the {width}-element "
+                               f"register pair"),
+                )
+
+
 class TestShiftsF32:
-    @pytest.mark.parametrize("width", [4, 8, 16])
-    @pytest.mark.parametrize("d", range(0, 17))
+    @pytest.mark.parametrize("width,d", _f32_shift_cases())
     def test_all_distances(self, width, d):
-        if d > width:
-            pytest.skip("beyond pair")
         b = ProgramBuilder(width, elem_bytes=4)
         u = b.load(b.mem(Affine.var("x")))
         v = b.load(b.mem(Affine.var("x", const=width)))
@@ -128,6 +143,27 @@ class TestShiftsF32:
         SimdMachine(width, elem_bytes=4).run(prog, {"a": a, "out": out})
         assert np.array_equal(out, np.arange(d, d + width,
                                              dtype=np.float32))
+
+    @pytest.mark.parametrize("width", [4, 8, 16])
+    def test_supported_range_boundary(self, width):
+        """shift(width) is the last supported distance at 4-byte lanes;
+        width+1 raises."""
+        b = ProgramBuilder(width, elem_bytes=4)
+        u = b.load(b.mem(Affine.var("x")))
+        v = b.load(b.mem(Affine.var("x", const=width)))
+        r = ShiftCache(b, u, v).shift(width)
+        b.store(r, b.mem(Affine.var("x"), array="out"))
+        prog = b.build(name="t", scheme="t",
+                       loops=[Loop("x", 0, width, width)],
+                       vectors_per_iter=1)
+        a = np.arange(4.0 * width, dtype=np.float32)
+        out = np.zeros(width, dtype=np.float32)
+        SimdMachine(width, elem_bytes=4).run(prog, {"a": a, "out": out})
+        assert np.array_equal(out, np.arange(width, 2 * width,
+                                             dtype=np.float32))
+        b = ProgramBuilder(width, elem_bytes=4)
+        with pytest.raises(VectorizeError):
+            ShiftCache(b, "u", "v").shift(width + 1)
 
     def test_sublane_shift_cost(self):
         """rem=2 costs one vshufps over the lane pair; rem=1/3 two."""

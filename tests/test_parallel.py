@@ -165,3 +165,58 @@ class TestExecutor:
             run_parallel(spec, g, -1)
         with pytest.raises(TilingError):
             run_parallel(spec, g, 1, workers=0)
+
+
+class TestExecutorDeterminism:
+    """run_parallel must be bitwise deterministic: tiles are independent
+    and land in disjoint output slices, so worker count and backend can
+    never change a single bit of the result."""
+
+    SPEC = library.get("heat-2d")
+
+    def _grid(self, seed=7):
+        return Grid.random((48, 48), 1, seed=seed)
+
+    def test_worker_count_bitwise_identical(self):
+        g = self._grid()
+        a = run_parallel(self.SPEC, g, 3, workers=1)
+        b = run_parallel(self.SPEC, g, 3, workers=8)
+        assert np.array_equal(a.data, b.data)
+
+    def test_thread_vs_process_backend_bitwise_identical(self):
+        g = self._grid(seed=8)
+        a = run_parallel(self.SPEC, g, 2, workers=4, backend="thread")
+        b = run_parallel(self.SPEC, g, 2, workers=4, backend="process")
+        assert np.array_equal(a.data, b.data)
+
+    def test_process_backend_worker_count_bitwise_identical(self):
+        g = self._grid(seed=9)
+        a = run_parallel(self.SPEC, g, 2, workers=1, backend="process")
+        b = run_parallel(self.SPEC, g, 2, workers=4, backend="process")
+        assert np.array_equal(a.data, b.data)
+
+    def test_process_backend_matches_reference(self):
+        spec = library.get("box-2d9p")
+        g = Grid.random((32, 32), 1, seed=10)
+        got = run_parallel(spec, g, 2, workers=3, backend="process")
+        ref = apply_steps(spec, g, 2)
+        assert np.allclose(got.interior, ref.interior, rtol=1e-12)
+
+    def test_process_backend_input_untouched(self):
+        g = self._grid(seed=11)
+        before = g.data.copy()
+        run_parallel(self.SPEC, g, 2, workers=2, backend="process")
+        assert np.array_equal(g.data, before)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(TilingError):
+            run_parallel(self.SPEC, self._grid(), 1, backend="mpi")
+
+    def test_3d_process_backend(self):
+        spec = library.get("heat-3d")
+        g = Grid.random((12, 12, 12), 1, seed=12)
+        a = run_parallel(spec, g, 2, workers=4, backend="thread",
+                         tile_shape=(4, 12, 12))
+        b = run_parallel(spec, g, 2, workers=4, backend="process",
+                         tile_shape=(4, 12, 12))
+        assert np.array_equal(a.data, b.data)

@@ -1,0 +1,112 @@
+"""Tests for the batched kernel service (:mod:`repro.service`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import GENERIC_AVX2
+from repro.errors import ReproError
+from repro.service import CompileRequest, KernelService, SweepJob
+from repro.stencils import apply_steps, library
+
+
+def _svc(**kw):
+    return KernelService(GENERIC_AVX2, **kw)
+
+
+class TestCompile:
+    def test_compile_is_ready_to_run(self):
+        svc = _svc()
+        k = svc.compile(library.get("heat-2d"), (64, 96))
+        g = k.grid_like((64, 96), seed=0)
+        out = k.run_numpy(g, k.plan.time_fusion)
+        ref = apply_steps(library.get("heat-2d"), g, k.plan.time_fusion)
+        assert np.allclose(out.interior, ref.interior, rtol=1e-12)
+
+    def test_compile_many_dedupes(self):
+        svc = _svc(compile_workers=2)
+        reqs = [
+            CompileRequest(library.get("heat-2d"), (64, 96)),
+            CompileRequest(library.get("box-2d9p"), (64, 96)),
+            CompileRequest(library.get("heat-2d"), (64, 96)),  # duplicate
+        ]
+        kernels = svc.compile_many(reqs)
+        assert len(kernels) == 3
+        assert kernels[0] is kernels[2]  # duplicates share one kernel
+        assert kernels[0] is not kernels[1]
+        # only the distinct requests hit the compilation pipeline
+        assert svc.stats()["misses"] == 2
+
+    def test_compile_many_distinguishes_options(self):
+        svc = _svc()
+        spec = library.get("heat-2d")
+        a, b, c = svc.compile_many([
+            CompileRequest(spec, (64, 96)),
+            CompileRequest(spec, (64, 96), time_fusion=1),
+            CompileRequest(spec, (64, 192)),
+        ])
+        assert a is not b and a is not c
+        assert b.plan.time_fusion == 1
+        assert c.grid.shape == (64, 192)
+
+    def test_compile_many_accepts_tuples(self):
+        svc = _svc()
+        (k,) = svc.compile_many([(library.get("heat-1d"), (96,))])
+        assert k.grid.shape == (96,)
+
+    def test_concurrent_compiles_share_cache(self):
+        svc = _svc(compile_workers=4)
+        names = ["heat-1d", "heat-2d", "box-2d9p", "star-1d5p"]
+        kernels = svc.compile_many(
+            [CompileRequest(library.get(n), (64, 96)[-library.get(n).ndim:])
+             for n in names] * 2
+        )
+        assert len(kernels) == 8
+        assert svc.stats()["misses"] == len(names)
+
+
+class TestRun:
+    def test_run_many_matches_reference(self):
+        svc = _svc(run_workers=3)
+        spec = library.get("heat-2d")
+        k = svc.compile(spec, (48, 48))
+        jobs = [SweepJob(spec, k.grid_like((48, 48), seed=s), steps=2)
+                for s in (0, 1)]
+        outs = svc.run_many(jobs)
+        for job, out in zip(jobs, outs):
+            ref = apply_steps(spec, job.grid, job.steps)
+            assert np.allclose(out.interior, ref.interior, rtol=1e-12)
+
+    def test_process_backend_identical_to_thread(self):
+        spec = library.get("heat-2d")
+        k = _svc().compile(spec, (48, 48))
+        job = SweepJob(spec, k.grid_like((48, 48), seed=2), steps=2)
+        a = _svc(run_backend="thread").run(job)
+        b = _svc(run_backend="process").run(job)
+        assert np.array_equal(a.data, b.data)
+
+
+class TestValidation:
+    def test_rejects_cache_and_cache_dir(self, tmp_path):
+        from repro.core.cache import KernelCache
+        with pytest.raises(ReproError):
+            KernelService(GENERIC_AVX2, cache=KernelCache(),
+                          cache_dir=str(tmp_path))
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ReproError):
+            KernelService(GENERIC_AVX2, run_backend="mpi")
+
+    def test_rejects_bad_worker_counts(self):
+        with pytest.raises(ReproError):
+            KernelService(GENERIC_AVX2, compile_workers=0)
+        with pytest.raises(ReproError):
+            KernelService(GENERIC_AVX2, run_workers=0)
+
+    def test_stats_exposes_cache_counters(self, tmp_path):
+        svc = _svc(cache_dir=str(tmp_path))
+        svc.compile(library.get("heat-1d"), (96,))
+        d = svc.stats()
+        assert d["misses"] == 1 and d["disk_writes"] >= 1
+        assert d["disk_entry_count"] >= 1

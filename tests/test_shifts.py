@@ -28,12 +28,27 @@ def run_shift_program(width, build):
     return out, prog.body
 
 
-@pytest.mark.parametrize("width", [2, 4, 8])
-@pytest.mark.parametrize("d", range(0, 9))
-def test_shift_cache_all_distances(width, d):
-    if d > width:
-        pytest.skip("distance beyond register pair")
+def shift_cases(widths, max_d):
+    """Every (width, d) pair.  Distances within the register pair
+    (d <= width) must work; anything beyond is a hard, documented
+    rejection — xfail(strict) so an accidental widening of the
+    supported range fails loudly instead of passing silently."""
+    for width in widths:
+        for d in range(0, max_d + 1):
+            if d <= width:
+                yield pytest.param(width, d)
+            else:
+                yield pytest.param(
+                    width, d,
+                    marks=pytest.mark.xfail(
+                        strict=True, raises=VectorizeError,
+                        reason=f"shift {d} exceeds the {width}-element "
+                               f"register pair"),
+                )
 
+
+@pytest.mark.parametrize("width,d", shift_cases((2, 4, 8), 8))
+def test_shift_cache_all_distances(width, d):
     def build(b):
         u = b.load(b.mem(Affine.var("x")))
         v = b.load(b.mem(Affine.var("x", const=width)))
@@ -41,6 +56,23 @@ def test_shift_cache_all_distances(width, d):
 
     out, _ = run_shift_program(width, build)
     assert np.array_equal(out, np.arange(d, d + width, dtype=float))
+
+
+@pytest.mark.parametrize("width", [2, 4, 8])
+def test_shift_supported_range_boundary(width):
+    """The supported range is exactly 0..width: the last in-range
+    distance executes, one past it raises."""
+    def build(b):
+        u = b.load(b.mem(Affine.var("x")))
+        v = b.load(b.mem(Affine.var("x", const=width)))
+        return ShiftCache(b, u, v).shift(width)
+
+    out, _ = run_shift_program(width, build)
+    assert np.array_equal(out, np.arange(width, 2 * width, dtype=float))
+
+    b = ProgramBuilder(width)
+    with pytest.raises(VectorizeError):
+        ShiftCache(b, "u", "v").shift(width + 1)
 
 
 def test_shift_rejects_out_of_range():
