@@ -1,0 +1,120 @@
+"""The batch-execution backend speedup gate (ISSUE PR 2's tentpole).
+
+Times one single sweep of the 2-D star-radius-2 kernel on a 512x512 grid
+through both execution backends of :func:`repro.vectorize.driver.run_program`
+— the per-instruction interpreter and the batched row-tensor engine — and
+asserts the batch backend's contract:
+
+* **bitwise identical** output grids, and
+* a **>= 10x** single-sweep speedup floor.
+
+Emits ``BENCH_machine.json`` (path overridable via ``BENCH_MACHINE_JSON``)
+so CI can archive the measured ratio as an artifact.  Runs under pytest
+(``pytest benchmarks/bench_machine.py -s``) or stand-alone
+(``python benchmarks/bench_machine.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _bench_utils import emit  # noqa: E402
+
+from repro.config import GENERIC_AVX2  # noqa: E402
+from repro.schemes import generate, scheme_halo  # noqa: E402
+from repro.stencils.grid import Grid  # noqa: E402
+from repro.stencils.spec import star  # noqa: E402
+from repro.vectorize.driver import run_program  # noqa: E402
+
+SHAPE = (512, 512)
+SPEEDUP_FLOOR = 10.0
+
+
+def _artifact_path() -> str:
+    return os.environ.get("BENCH_MACHINE_JSON", "BENCH_machine.json")
+
+
+def _time_sweep(program, grid, backend: str, *, repeats: int) -> tuple:
+    """(best seconds, result grid) over ``repeats`` single sweeps."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = run_program(program, grid, program.steps_per_iter,
+                             backend=backend)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def measure() -> dict:
+    spec = star(2, 2, center=-3.0, arm=[0.5, 0.25], name="bench-star-2d-r2")
+    halo = scheme_halo("jigsaw", spec, GENERIC_AVX2)
+    grid = Grid.random(SHAPE, halo, seed=42)
+    program = generate("jigsaw", spec, GENERIC_AVX2, grid)
+
+    # warm both paths (batch compilation, numpy allocator) off the clock
+    batch_t, batch_grid = _time_sweep(program, grid, "batch", repeats=3)
+    interp_t, interp_grid = _time_sweep(program, grid, "interp", repeats=1)
+
+    identical = bool(np.array_equal(batch_grid.data, interp_grid.data))
+    points = grid.npoints()
+    return {
+        "kernel": spec.name,
+        "scheme": "jigsaw",
+        "machine": GENERIC_AVX2.name,
+        "grid": list(SHAPE),
+        "steps": program.steps_per_iter,
+        "interp_seconds": interp_t,
+        "batch_seconds": batch_t,
+        "interp_mstencil_s": points / interp_t / 1e6,
+        "batch_mstencil_s": points / batch_t / 1e6,
+        "speedup": interp_t / batch_t,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "bitwise_identical": identical,
+    }
+
+
+def _report(data: dict) -> None:
+    path = _artifact_path()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+    emit(
+        "Machine backends: batch vs interpreter",
+        "\n".join([
+            f"kernel          {data['kernel']} on "
+            f"{'x'.join(map(str, data['grid']))} ({data['machine']})",
+            f"interpreter     {data['interp_seconds']:.3f} s "
+            f"({data['interp_mstencil_s']:.2f} MStencil/s)",
+            f"batch           {data['batch_seconds']:.3f} s "
+            f"({data['batch_mstencil_s']:.2f} MStencil/s)",
+            f"speedup         {data['speedup']:.1f}x "
+            f"(floor {data['speedup_floor']:.0f}x)",
+            f"bitwise         {data['bitwise_identical']}",
+            f"artifact        {path}",
+        ]),
+    )
+
+
+def test_batch_backend_speedup():
+    data = measure()
+    _report(data)
+    assert data["bitwise_identical"], (
+        "batch backend diverged bitwise from the interpreter"
+    )
+    assert data["speedup"] >= SPEEDUP_FLOOR, (
+        f"batch speedup {data['speedup']:.1f}x below the "
+        f"{SPEEDUP_FLOOR:.0f}x floor"
+    )
+
+
+if __name__ == "__main__":
+    test_batch_backend_speedup()
+    print("ok")

@@ -141,17 +141,26 @@ def cmd_run(args) -> int:
     cache = None
     if args.cache_dir:
         cache = configure_default_cache(args.cache_dir)
-    template = compile_kernel(spec, machine, Grid(args.size, 16))
+    exec_backend = "auto" if args.backend == "numpy" else args.backend
+    template = compile_kernel(spec, machine, Grid(args.size, 16),
+                              backend=exec_backend)
     grid = template.grid_like(args.size, seed=0)
-    kernel = compile_kernel(spec, machine, grid)
+    kernel = compile_kernel(spec, machine, grid, backend=exec_backend)
     steps = args.steps - args.steps % kernel.plan.time_fusion
     t0 = time.perf_counter()
-    kernel.run_numpy(grid, steps)
+    if args.backend == "numpy":
+        kernel.run_numpy(grid, steps)
+        engine = "numpy path"
+    else:
+        # cycle-exact SIMD machine: batched tensor execution by default,
+        # per-instruction interpreter with --backend interp
+        kernel.run(grid, steps, backend=args.backend)
+        engine = f"machine/{args.backend}"
     dt = time.perf_counter() - t0
     points = grid.npoints()
     print(f"{spec.name}: {steps} steps over {'x'.join(map(str, args.size))} "
           f"in {dt:.3f}s ({points * steps / dt / 1e6:.1f} MStencil/s, "
-          f"numpy path, plan: {kernel.plan.describe()})")
+          f"{engine}, plan: {kernel.plan.describe()})")
     if cache is not None:
         kernel.program  # lower through the disk cache so reruns hit it
         s = cache.stats
@@ -248,6 +257,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("kernel")
     p.add_argument("--size", type=_size, required=True)
     p.add_argument("--steps", type=int, default=10)
+    p.add_argument("--backend", default="numpy",
+                   choices=("numpy", "auto", "batch", "interp"),
+                   help="execution engine: the numpy fast path (default), "
+                        "or the cycle-exact SIMD machine with batched "
+                        "tensor execution (auto/batch) or the "
+                        "per-instruction interpreter (interp)")
     p.add_argument("--cache-dir", default=None,
                    help="persist compiled kernels to this directory")
     _add_machine_arg(p)

@@ -84,15 +84,23 @@ def _digest(payload: Dict[str, Any]) -> str:
 
 def plan_key(spec: StencilSpec, machine: MachineConfig, *,
              time_fusion: Union[int, str] = "auto",
-             use_sdf: bool = True) -> str:
-    """Content hash identifying one planning request."""
-    return _digest({
+             use_sdf: bool = True, backend: str = "auto") -> str:
+    """Content hash identifying one planning request.
+
+    ``backend`` is an execution-time preference carried on the plan; it
+    keys plan lookups (so a cached plan honours the requested backend)
+    but never the program cache (generated programs are backend-neutral).
+    """
+    payload = {
         "kind": "plan",
         "spec": spec_fingerprint(spec),
         "machine": machine_fingerprint(machine),
         "time_fusion": time_fusion,
         "use_sdf": use_sdf,
-    })
+    }
+    if backend != "auto":  # default keys stay stable across versions
+        payload["backend"] = backend
+    return _digest(payload)
 
 
 def program_key(plan: JigsawPlan, grid: Grid) -> str:
@@ -165,10 +173,10 @@ class KernelCache:
     # -- plans -----------------------------------------------------------------
     def plan(self, spec: StencilSpec, machine: MachineConfig, *,
              time_fusion: Union[int, str] = "auto",
-             use_sdf: bool = True) -> JigsawPlan:
+             use_sdf: bool = True, backend: str = "auto") -> JigsawPlan:
         """Memoized :func:`repro.core.planner.plan`."""
         key = plan_key(spec, machine, time_fusion=time_fusion,
-                       use_sdf=use_sdf)
+                       use_sdf=use_sdf, backend=backend)
         with self._lock:
             cached = self._plans.get(key)
             if cached is not None:
@@ -176,7 +184,7 @@ class KernelCache:
                 self.stats.plan_hits += 1
                 return cached
         built = build_plan(spec, machine, time_fusion=time_fusion,
-                           use_sdf=use_sdf)
+                           use_sdf=use_sdf, backend=backend)
         with self._lock:
             self.stats.plan_misses += 1
             self._plans[key] = built
@@ -218,11 +226,11 @@ class KernelCache:
 
     def compile(self, spec: StencilSpec, machine: MachineConfig, grid: Grid,
                 *, time_fusion: Union[int, str] = "auto",
-                use_sdf: bool = True):
+                use_sdf: bool = True, backend: str = "auto"):
         """Cache-aware equivalent of :func:`repro.core.jigsaw.compile`."""
         from .kernel import CompiledKernel
         p = self.plan(spec, machine, time_fusion=time_fusion,
-                      use_sdf=use_sdf)
+                      use_sdf=use_sdf, backend=backend)
         return CompiledKernel(plan=p, machine=machine, grid=grid, cache=self)
 
     def _remember(self, key: str, program: VectorProgram) -> None:

@@ -254,6 +254,7 @@ def compile(
     *,
     time_fusion: int | str = "auto",
     cache=None,
+    backend: str = "auto",
 ):
     """Compile ``spec`` into a ready-to-run :class:`~repro.core.kernel.CompiledKernel`
     (planner-selected fusion depth when ``time_fusion="auto"``).
@@ -262,6 +263,10 @@ def compile(
     through a :class:`~repro.core.cache.KernelCache`: pass one explicitly
     via ``cache``, or leave it ``None`` to share the process-wide default
     cache.  ``cache=False`` disables memoization entirely.
+
+    ``backend`` selects the SIMD-machine execution engine the kernel's
+    :meth:`~repro.core.kernel.CompiledKernel.run` uses (``"auto"`` =
+    batched tensor execution with automatic interpreter fallback).
     """
     # local imports: planner/cache import this module
     from .cache import default_cache
@@ -270,6 +275,7 @@ def compile(
     if cache is None:
         cache = default_cache()
     if cache is False:
-        p = plan(spec, machine, time_fusion=time_fusion)
+        p = plan(spec, machine, time_fusion=time_fusion, backend=backend)
         return CompiledKernel(plan=p, machine=machine, grid=grid)
-    return cache.compile(spec, machine, grid, time_fusion=time_fusion)
+    return cache.compile(spec, machine, grid, time_fusion=time_fusion,
+                         backend=backend)

@@ -42,6 +42,11 @@ class CompiledKernel:
     #: memoized through (kernels from ``jigsaw.compile`` share the process
     #: default cache)
     cache: Optional[object] = None
+    #: SIMD-machine execution backend for :meth:`run` / :meth:`trace`
+    #: (one of :data:`repro.vectorize.driver.EXEC_BACKENDS`); defaults to
+    #: the plan's preference (normally ``"auto"`` = batched tensor
+    #: execution with automatic interpreter fallback)
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         self._program: Optional[VectorProgram] = None
@@ -73,13 +78,23 @@ class CompiledKernel:
             return Grid(shape, self.halo())
         return Grid.random(shape, self.halo(), seed=seed)
 
+    def exec_backend(self) -> str:
+        """The resolved SIMD-machine backend: the kernel's own override,
+        else the plan's preference, else ``"auto"``."""
+        if self.backend is not None:
+            return self.backend
+        return getattr(self.plan, "backend", None) or "auto"
+
     # -- execution ----------------------------------------------------------------
     def run(self, grid: Grid, steps: int, *, boundary: str = "periodic",
-            value: float = 0.0) -> Grid:
-        """Cycle-exact execution on the SIMD machine interpreter."""
+            value: float = 0.0, backend: Optional[str] = None) -> Grid:
+        """Cycle-exact execution on the SIMD machine (batched tensor
+        backend by default, with automatic interpreter fallback — both
+        produce bitwise-identical grids)."""
         self._check_grid(grid)
         return run_program(self.program, grid, steps, boundary=boundary,
-                           value=value)
+                           value=value,
+                           backend=backend or self.exec_backend())
 
     def run_numpy(self, grid: Grid, steps: int, *, boundary: str = "periodic",
                   value: float = 0.0) -> Grid:
@@ -134,7 +149,7 @@ class CompiledKernel:
     def trace(self, grid: Optional[Grid] = None) -> TraceCounter:
         g = grid if grid is not None else self.grid
         self._check_grid(g)
-        return measure_trace(self.program, g)
+        return measure_trace(self.program, g, backend=self.exec_backend())
 
     def per_vector_mix(self) -> Dict[str, float]:
         return self.program.per_vector_mix()

@@ -30,6 +30,12 @@ class JigsawPlan:
     machine: MachineConfig
     time_fusion: int
     use_sdf: bool = True
+    #: preferred SIMD-machine execution backend ("auto" | "batch" |
+    #: "interp").  An execution-time preference only: it does not change
+    #: the generated program, so it participates in plan lookup keys but
+    #: never in :meth:`cache_token` (program cache entries are shared
+    #: across backends).
+    backend: str = field(default="auto", compare=False)
     notes: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
@@ -90,8 +96,14 @@ def plan(
     *,
     time_fusion: Union[int, str] = "auto",
     use_sdf: bool = True,
+    backend: str = "auto",
 ) -> JigsawPlan:
     """Build a :class:`JigsawPlan`, validating feasibility."""
+    if backend not in ("auto", "batch", "interp"):
+        raise PlanError(
+            f"unknown execution backend {backend!r}; "
+            f"known: ('auto', 'batch', 'interp')"
+        )
     if time_fusion == "auto":
         depth = auto_fusion(spec, machine)
     else:
@@ -109,6 +121,7 @@ def plan(
         machine=machine,
         time_fusion=depth,
         use_sdf=use_sdf,
+        backend=backend,
         notes=f"auto={time_fusion == 'auto'}",
     )
 

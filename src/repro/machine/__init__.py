@@ -19,6 +19,7 @@ from .isa import (
     classify,
 )
 from .machine import SimdMachine
+from .batch import BatchedProgram, BatchFallback, analytic_trace
 from .trace import TraceCounter
 from .costs import CostTable, cost_table_for
 from .pipeline import PipelineModel, PipelineEstimate
@@ -41,6 +42,9 @@ __all__ = [
     "Op",
     "classify",
     "SimdMachine",
+    "BatchedProgram",
+    "BatchFallback",
+    "analytic_trace",
     "TraceCounter",
     "CostTable",
     "cost_table_for",

@@ -1,0 +1,465 @@
+"""Batched row-tensor execution backend for vector programs.
+
+The interpreter (:class:`~repro.machine.machine.SimdMachine`) executes the
+body of a :class:`~repro.vectorize.program.VectorProgram` once per
+x-iteration in pure Python — for a 512x512 grid that is hundreds of
+thousands of per-instruction dispatches per sweep.  But a vector program's
+body is *static*: the same straight-line instruction sequence runs at
+every x offset, only the memory addresses advance by a fixed stride.  This
+module exploits that regularity by compiling the body once into a
+sequence of closures operating on a register file of shape
+``(trip_count, width)`` — one row per x-iteration:
+
+* **LOAD** becomes a single strided gather of every x-offset at once;
+* every **ALU/shuffle** op gets a batched twin vectorized over axis 0
+  (shuffles are pure index selections on the last axis, so they batch as
+  one fancy-indexing gather whose index vector is *derived from the
+  scalar semantics themselves* — see :func:`_probe_shuffle`);
+* **STORE** scatters all rows back in one assignment (falling back to an
+  in-order per-row loop only when row extents overlap, so later
+  iterations overwrite earlier ones exactly as the interpreter does).
+
+Elementwise IEEE arithmetic is independent across rows, and shuffles and
+memory ops are exact copies, so the batched execution is **bitwise
+identical** to the interpreter (the differential harness asserts this for
+every scheme, dtype, and random spec).
+
+Loop-carried registers (Algorithm 1's ``v0``/``vp0`` reuse, the sliding
+windows of Reorg/Folding/LBV) are handled by *peeling them into shifted
+batches*: the value entering row ``i`` is the value leaving row ``i-1``
+(row 0 comes from the prologue).  Since every scheme's carry chains are
+finite renames of freshly loaded values (``mov`` slides ending in a
+load), iterating "execute the batched body, then shift the carried
+end-of-body values down one row" reaches a bitwise fixed point in
+``depth`` rounds, where ``depth`` is the longest carry chain.  A true
+recurrence (an accumulator carried across x) never converges; after
+``len(carried) + 2`` rounds the backend raises :class:`BatchFallback`
+and the driver reruns the sweep on the interpreter — correctness never
+depends on the batch backend succeeding.
+
+Per-access ``mem_hook`` consumers (the trace-driven cache simulator) are
+incompatible with batching by construction — one gather has no per-access
+order — so the driver falls back to the interpreter whenever a hook is
+attached.  Executed-instruction *counts*, by contrast, are a static
+function of the program geometry; :func:`analytic_trace` computes them
+exactly (tests cross-check against the interpreter for every scheme).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from functools import lru_cache
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import IsaError, MachineError
+from .isa import Affine, Instr, Op, execute_alu
+from .machine import SimdMachine
+from .trace import TraceCounter
+
+
+class BatchFallback(Exception):
+    """The program (or one sweep of it) cannot run on the batch backend;
+    the caller should fall back to the interpreter."""
+
+
+# ---------------------------------------------------------------------------
+# analytic trace counts
+# ---------------------------------------------------------------------------
+
+def analytic_trace(program, counter: Optional[TraceCounter] = None) -> TraceCounter:
+    """Executed-instruction counts of one full sweep, computed statically.
+
+    Exactly reproduces what :meth:`SimdMachine.run` tallies: the prologue
+    executes once per outer-loop entry, the body once per x-iteration,
+    and ``vectors``/``steps`` follow the program geometry.
+    """
+    counter = counter if counter is not None else TraceCounter()
+    n_outer = 1
+    for loop in program.loops[:-1]:
+        n_outer *= loop.trip_count
+    body_runs = program.total_body_runs()
+    for instr in program.prologue:
+        counter.add(instr, times=n_outer)
+    for instr in program.body:
+        counter.add(instr, times=body_runs)
+    counter.vectors += program.vectors_per_iter * body_runs
+    counter.steps = program.steps_per_iter
+    return counter
+
+
+# ---------------------------------------------------------------------------
+# compile-time helpers
+# ---------------------------------------------------------------------------
+
+def _split_affine(aff: Affine, x_var: str) -> Tuple[int, int, Tuple[Tuple[str, int], ...]]:
+    """``(const, x_coefficient, outer_terms)`` of one address expression."""
+    coeff = 0
+    rest = []
+    for var, c in aff.terms:
+        if var == x_var:
+            coeff += c
+        else:
+            rest.append((var, c))
+    return aff.const, coeff, tuple(rest)
+
+
+def _probe_shuffle(instr: Instr, width: int, epl: int):
+    """Derive a shuffle's batched gather from its scalar semantics.
+
+    The scalar executor is run once on *index-valued* registers (source
+    ``k`` holds ``k*width+1 .. (k+1)*width``); the output spells out, per
+    destination element, which source element it selects (0 marks a
+    zeroed lane, e.g. PERM2F128's zero bit).  The batched execution is
+    then a single fancy-index gather — exact by construction, for any
+    opcode and any immediate.
+    """
+    n = len(instr.srcs)
+    names = tuple(f"__s{k}" for k in range(n))
+    probe = dataclasses.replace(instr, srcs=names)
+    regs = {
+        name: np.arange(k * width + 1, (k + 1) * width + 1, dtype=np.float64)
+        for k, name in enumerate(names)
+    }
+    execute_alu(probe, regs, width, epl=epl, dtype=np.float64)
+    codes = regs[instr.dst].astype(np.int64)
+    zero_cols = np.nonzero(codes == 0)[0]
+    gather = np.clip(codes - 1, 0, n * width - 1)
+    src_of = gather // width        # which source each element reads
+    col_of = gather % width         # which element of that source
+    return src_of, col_of, zero_cols
+
+
+# ---------------------------------------------------------------------------
+# the compiled program
+# ---------------------------------------------------------------------------
+
+class _Ctx:
+    """Per-(outer-env, round) execution state."""
+
+    __slots__ = ("regs", "stores")
+
+    def __init__(self) -> None:
+        self.regs: Dict[str, np.ndarray] = {}
+        self.stores: List[Tuple[Callable, np.ndarray]] = []
+
+
+class BatchedProgram:
+    """A :class:`~repro.vectorize.program.VectorProgram` compiled into
+    whole-row closures (see module docstring).  Stateless across runs;
+    safe to cache and share."""
+
+    def __init__(self, program) -> None:
+        self.program = program
+        self.width = program.width
+        self.elem_bytes = program.elem_bytes
+        self.dtype = np.float32 if program.elem_bytes == 4 else np.float64
+        self.epl = 16 // program.elem_bytes
+        x_loop = program.x_loop
+        self.x_var = x_loop.var
+        self.trips = x_loop.trip_count
+        self.x_start = x_loop.start
+        self.x_step = x_loop.step
+        #: x value per row, shape (trips,)
+        self._xs = (np.arange(self.trips, dtype=np.int64) * x_loop.step
+                    + x_loop.start)
+        self._carried = self._find_carried(program)
+        self._max_rounds = len(self._carried) + 2
+        self._body_ops = [self._compile(i) for i in program.body]
+
+    # -- analysis ---------------------------------------------------------------
+    @staticmethod
+    def _find_carried(program) -> Tuple[str, ...]:
+        """Registers read before their first body write *and* written in
+        the body — their value crosses x-iterations."""
+        written: set = set()
+        early: List[str] = []
+        for instr in program.body:
+            for src in instr.srcs:
+                if src not in written and src not in early:
+                    early.append(src)
+            if instr.dst:
+                written.add(instr.dst)
+        return tuple(r for r in early if r in written)
+
+    # -- instruction compilation ------------------------------------------------
+    def _compile(self, instr: Instr) -> Callable[[_Ctx, Mapping, Mapping], None]:
+        op = instr.op
+        if op is Op.LOAD:
+            return self._compile_load(instr)
+        if op is Op.STORE:
+            return self._compile_store(instr)
+        if op is Op.BROADCAST:
+            value = np.full((1, self.width), instr.imm, dtype=self.dtype)
+            dst = instr.dst
+
+            def do_broadcast(ctx, arrays, env, value=value, dst=dst):
+                ctx.regs[dst] = value
+            return do_broadcast
+        if op is Op.SETZERO:
+            zero = np.zeros((1, self.width), dtype=self.dtype)
+            dst = instr.dst
+
+            def do_setzero(ctx, arrays, env, zero=zero, dst=dst):
+                ctx.regs[dst] = zero
+            return do_setzero
+        if op is Op.MOV:
+            dst, src = instr.dst, instr.srcs[0]
+
+            def do_mov(ctx, arrays, env, dst=dst, src=src):
+                ctx.regs[dst] = self._get(ctx, src)
+            return do_mov
+        if op in (Op.ADD, Op.SUB, Op.MUL):
+            ufunc = {Op.ADD: np.add, Op.SUB: np.subtract,
+                     Op.MUL: np.multiply}[op]
+            dst, (a, b) = instr.dst, instr.srcs
+
+            def do_arith(ctx, arrays, env, ufunc=ufunc, dst=dst, a=a, b=b):
+                ctx.regs[dst] = ufunc(self._get(ctx, a), self._get(ctx, b))
+            return do_arith
+        if op is Op.FMA:
+            dst, (a, b, c) = instr.dst, instr.srcs
+
+            def do_fma(ctx, arrays, env, dst=dst, a=a, b=b, c=c):
+                # same evaluation as the interpreter: a*b + c, unfused
+                ctx.regs[dst] = (self._get(ctx, a) * self._get(ctx, b)
+                                 + self._get(ctx, c))
+            return do_fma
+        # every remaining opcode is a pure element shuffle
+        return self._compile_shuffle(instr)
+
+    def _compile_shuffle(self, instr: Instr) -> Callable:
+        src_of, col_of, zero_cols = _probe_shuffle(instr, self.width, self.epl)
+        dst, srcs, width = instr.dst, instr.srcs, self.width
+        # group destination columns by originating source for one gather each
+        groups = []
+        for k in range(len(srcs)):
+            cols = np.nonzero(src_of == k)[0]
+            cols = cols[~np.isin(cols, zero_cols)] if len(zero_cols) else cols
+            if len(cols):
+                groups.append((srcs[k], cols, col_of[cols]))
+        single = (len(groups) == 1 and len(zero_cols) == 0
+                  and len(groups[0][1]) == width)
+
+        if single:
+            name, _, take = groups[0]
+
+            def do_shuffle1(ctx, arrays, env, name=name, take=take, dst=dst):
+                ctx.regs[dst] = self._get(ctx, name)[:, take]
+            return do_shuffle1
+
+        def do_shuffle(ctx, arrays, env, groups=groups, zero_cols=zero_cols,
+                       dst=dst, width=width):
+            sources = [(cols, self._get(ctx, name)[:, take])
+                       for name, cols, take in groups]
+            rows = max((s.shape[0] for _, s in sources), default=1)
+            out = np.empty((rows, width), dtype=self.dtype)
+            for cols, vals in sources:
+                out[:, cols] = vals
+            if len(zero_cols):
+                out[:, zero_cols] = 0.0
+            ctx.regs[dst] = out
+        return do_shuffle
+
+    # -- memory -----------------------------------------------------------------
+    def _compile_addr(self, instr: Instr):
+        """Split the memory operand into per-axis closures; returns
+        ``(name, outer_axes, (const, coeff_x, terms))`` where the last
+        tuple describes the unit-stride axis."""
+        mem = instr.mem
+        outer = []
+        for aff in mem.index[:-1]:
+            const, coeff_x, terms = _split_affine(aff, self.x_var)
+            if coeff_x:
+                raise BatchFallback(
+                    f"{instr}: non-unit-stride axis depends on the x "
+                    f"variable; batch lowering only handles x on the last axis"
+                )
+            outer.append((const, terms))
+        last = _split_affine(mem.index[-1], self.x_var)
+        return mem.array, tuple(outer), last
+
+    @staticmethod
+    def _eval_outer(const: int, terms, env) -> int:
+        total = const
+        for var, c in terms:
+            try:
+                total += c * env[var]
+            except KeyError:
+                raise IsaError(
+                    f"unbound loop variable {var!r} in address") from None
+        return total
+
+    def _locate(self, instr, arrays, env, outer, last):
+        """Resolve and bounds-check one batched memory operand; returns
+        ``(row_view, positions)`` with ``positions`` shape (trips,)."""
+        name = instr.mem.array
+        if name not in arrays:
+            raise MachineError(f"unknown array {name!r} in {instr}")
+        arr = arrays[name]
+        if len(outer) + 1 != arr.ndim:
+            raise MachineError(
+                f"{instr}: address has {len(outer) + 1} axes, array has "
+                f"{arr.ndim}"
+            )
+        idx = []
+        for axis, ((const, terms), n) in enumerate(zip(outer, arr.shape[:-1])):
+            i = self._eval_outer(const, terms, env)
+            if not 0 <= i < n:
+                raise MachineError(
+                    f"{instr}: axis {axis} index {i} out of bounds [0, {n}) "
+                    f"with env {dict(env)}"
+                )
+            idx.append(i)
+        const, coeff_x, terms = last
+        base = self._eval_outer(const, terms, env)
+        positions = base + coeff_x * self._xs
+        if len(positions):
+            lo = int(positions.min())
+            hi = int(positions.max())
+            n = arr.shape[-1]
+            if lo < 0 or hi + self.width > n:
+                raise MachineError(
+                    f"{instr}: x range [{lo}, {hi + self.width}) out of "
+                    f"bounds [0, {n}) with env {dict(env)}"
+                )
+        row = arr[tuple(idx)]
+        return row, positions
+
+    def _compile_load(self, instr: Instr) -> Callable:
+        name, outer, last = self._compile_addr(instr)
+        dst = instr.dst
+        cols = np.arange(self.width, dtype=np.int64)
+
+        def do_load(ctx, arrays, env, instr=instr, outer=outer, last=last,
+                    dst=dst, cols=cols):
+            row, positions = self._locate(instr, arrays, env, outer, last)
+            reg = row[positions[:, None] + cols]
+            if reg.dtype != self.dtype:
+                reg = reg.astype(self.dtype)
+            ctx.regs[dst] = reg
+        return do_load
+
+    def _compile_store(self, instr: Instr) -> Callable:
+        name, outer, last = self._compile_addr(instr)
+        src = instr.srcs[0]
+        cols = np.arange(self.width, dtype=np.int64)
+        # consecutive rows overlap (or alias) when the store stride is
+        # shorter than a register: scatter in row order so later
+        # iterations win, exactly like the interpreter
+        delta = last[1] * self.x_step
+        overlapping = self.trips > 1 and abs(delta) < self.width
+
+        def do_store(ctx, arrays, env, instr=instr, outer=outer, last=last,
+                     src=src, cols=cols, overlapping=overlapping):
+            value = ctx.regs.get(src)
+            if value is None:
+                raise MachineError(f"{instr}: store of undefined register")
+            row, positions = self._locate(instr, arrays, env, outer, last)
+
+            if overlapping:
+                def commit(row=row, positions=positions, value=value):
+                    rows = value.shape[0]
+                    for i, p in enumerate(positions):
+                        row[p:p + self.width] = value[min(i, rows - 1)]
+            else:
+                def commit(row=row, positions=positions, value=value):
+                    row[positions[:, None] + cols] = value
+            ctx.stores.append(commit)
+        return do_store
+
+    # -- execution ----------------------------------------------------------------
+    def _get(self, ctx: _Ctx, name: str) -> np.ndarray:
+        try:
+            return ctx.regs[name]
+        except KeyError:
+            raise IsaError(f"read of undefined register {name!r}") from None
+
+    def run(self, arrays: Mapping[str, np.ndarray]) -> None:
+        """Execute the full loop nest against ``arrays`` (padded buffers).
+
+        Raises :class:`BatchFallback` if a loop-carried recurrence fails
+        to converge — the caller must then rerun the sweep on the
+        interpreter (deferred stores make the partial attempt harmless).
+        """
+        program = self.program
+        scalar = SimdMachine(self.width, elem_bytes=self.elem_bytes)
+        for env in program.iter_outer():
+            env = dict(env)
+            self._run_env(arrays, env, scalar)
+
+    def _run_env(self, arrays: Mapping[str, np.ndarray], env: Dict,
+                 scalar: SimdMachine) -> None:
+        # Prologue: straight-line scalar execution at x = x_start (the
+        # interpreter's own _exec keeps the semantics authoritative).
+        env[self.x_var] = self.x_start
+        scalar.regs = {}
+        for instr in self.program.prologue:
+            scalar._exec(instr, arrays, env, None)
+        prologue_regs = scalar.regs
+
+        base: Dict[str, np.ndarray] = {}
+        carry: Dict[str, np.ndarray] = {}
+        head: Dict[str, np.ndarray] = {}
+        for name, value in prologue_regs.items():
+            if name in self._carried:
+                head[name] = value
+                init = np.zeros((self.trips, self.width), dtype=self.dtype)
+                init[0] = value
+                carry[name] = init
+            else:
+                base[name] = value.reshape(1, self.width)
+        for name in self._carried:
+            if name not in carry:
+                # the interpreter would fault on the first body read; keep
+                # that behaviour instead of silently reading zeros
+                raise IsaError(f"read of undefined register {name!r}")
+
+        if self.trips == 0:
+            return
+
+        ctx = _Ctx()
+        for _ in range(self._max_rounds if self._carried else 1):
+            ctx.regs = dict(base)
+            ctx.regs.update(carry)
+            ctx.stores = []
+            for op in self._body_ops:
+                op(ctx, arrays, env)
+            if not self._carried:
+                break
+            converged = True
+            shifted: Dict[str, np.ndarray] = {}
+            for name in self._carried:
+                out = ctx.regs[name]
+                nxt = np.empty((self.trips, self.width), dtype=self.dtype)
+                nxt[0] = head[name]
+                nxt[1:] = out[:-1] if out.shape[0] == self.trips else out[0]
+                if nxt.tobytes() != carry[name].tobytes():
+                    converged = False
+                shifted[name] = nxt
+            if converged:
+                break
+            carry = shifted
+        else:
+            raise BatchFallback(
+                f"{self.program.name}: loop-carried registers "
+                f"{self._carried} did not reach a fixed point in "
+                f"{self._max_rounds} rounds (true recurrence)"
+            )
+        for commit in ctx.stores:
+            commit()
+
+
+# ---------------------------------------------------------------------------
+# compile cache
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=128)
+def get_batched(program) -> BatchedProgram:
+    """Compile (memoized) — raises :class:`BatchFallback` for programs the
+    batch backend cannot lower."""
+    return BatchedProgram(program)
+
+
+__all__ = ["BatchFallback", "BatchedProgram", "analytic_trace", "get_batched"]

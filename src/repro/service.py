@@ -41,6 +41,7 @@ from .errors import ReproError
 from .parallel.executor import BACKENDS, run_parallel
 from .stencils.grid import Grid
 from .stencils.spec import StencilSpec
+from .vectorize.driver import EXEC_BACKENDS
 
 
 @dataclass(frozen=True)
@@ -83,12 +84,18 @@ class KernelService:
         compile_workers: int = 4,
         run_workers: int = 4,
         run_backend: str = "thread",
+        exec_backend: str = "auto",
     ) -> None:
         if cache is not None and cache_dir is not None:
             raise ReproError("pass either cache or cache_dir, not both")
         if run_backend not in BACKENDS:
             raise ReproError(
                 f"unknown run backend {run_backend!r}; known: {BACKENDS}"
+            )
+        if exec_backend not in EXEC_BACKENDS:
+            raise ReproError(
+                f"unknown exec backend {exec_backend!r}; "
+                f"known: {EXEC_BACKENDS}"
             )
         if compile_workers < 1 or run_workers < 1:
             raise ReproError("worker counts must be >= 1")
@@ -101,6 +108,9 @@ class KernelService:
         self.compile_workers = compile_workers
         self.run_workers = run_workers
         self.run_backend = run_backend
+        #: SIMD-machine execution backend stamped on every compiled
+        #: kernel (see :data:`repro.vectorize.driver.EXEC_BACKENDS`)
+        self.exec_backend = exec_backend
 
     # -- compilation -----------------------------------------------------------
     def compile(self, spec: StencilSpec, shape: Sequence[int], *,
@@ -111,12 +121,14 @@ class KernelService:
         The program is lowered eagerly so the returned kernel is
         ready-to-run (and the expensive work is behind the cache)."""
         plan = self.cache.plan(spec, self.machine,
-                               time_fusion=time_fusion, use_sdf=use_sdf)
+                               time_fusion=time_fusion, use_sdf=use_sdf,
+                               backend=self.exec_backend)
         halo = required_halo(spec, self.machine,
                              time_fusion=plan.time_fusion)
         grid = Grid(tuple(shape), halo)
         kernel = CompiledKernel(plan=plan, machine=self.machine, grid=grid,
-                                cache=self.cache)
+                                cache=self.cache,
+                                backend=self.exec_backend)
         kernel.program  # force lowering through the cache
         return kernel
 
@@ -148,7 +160,8 @@ class KernelService:
 
     def _request_key(self, r: CompileRequest) -> Tuple[str, Tuple[int, ...]]:
         return (plan_key(r.spec, self.machine, time_fusion=r.time_fusion,
-                         use_sdf=r.use_sdf), r.shape)
+                         use_sdf=r.use_sdf, backend=self.exec_backend),
+                r.shape)
 
     # -- execution -------------------------------------------------------------
     def run(self, job: SweepJob) -> Grid:

@@ -10,16 +10,23 @@ periodic boundaries (see DESIGN.md §7).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..errors import VectorizeError
+from ..machine.batch import BatchFallback, analytic_trace, get_batched
 from ..machine.machine import SimdMachine
 from ..machine.trace import TraceCounter
 from ..stencils.boundary import fill_halo
 from ..stencils.grid import Grid
 from .program import VectorProgram
+
+#: execution backends accepted by :func:`run_program`:
+#: ``"auto"`` (batch with automatic interpreter fallback), ``"batch"``
+#: (same resolution — the fallback is a correctness guarantee, not an
+#: option), ``"interp"`` (force the per-instruction interpreter).
+EXEC_BACKENDS: Tuple[str, ...] = ("auto", "batch", "interp")
 
 
 def check_program_grid(program: VectorProgram, grid: Grid) -> None:
@@ -58,11 +65,21 @@ def run_program(
     value: float = 0.0,
     counter: Optional[TraceCounter] = None,
     mem_hook=None,
+    backend: str = "auto",
 ) -> Grid:
     """Run ``steps`` time steps of ``program`` starting from ``grid``.
 
     Returns a new grid; ``grid`` is unchanged.  ``steps`` must be a
     multiple of the program's fused step count.
+
+    ``backend`` selects the execution engine (:data:`EXEC_BACKENDS`).
+    The default lowers the program once into whole-row tensor closures
+    (:mod:`repro.machine.batch`) and falls back to the interpreter
+    whenever batching cannot apply: a per-access ``mem_hook`` is attached
+    (the cache simulator needs ordered accesses), or a loop-carried
+    recurrence fails to peel.  Both engines produce bitwise-identical
+    grids; with a ``counter``, batch sweeps are tallied analytically
+    (exactly matching the interpreter's executed counts).
     """
     s = program.steps_per_iter
     if steps < 0:
@@ -75,43 +92,74 @@ def run_program(
         raise VectorizeError(
             "temporally merged programs are exact only with periodic boundaries"
         )
+    if backend not in EXEC_BACKENDS:
+        raise VectorizeError(
+            f"unknown execution backend {backend!r}; known: {EXEC_BACKENDS}"
+        )
     check_program_grid(program, grid)
-    machine = SimdMachine(program.width, elem_bytes=program.elem_bytes,
-                          mem_hook=mem_hook)
+    if steps == 0:
+        return grid.copy()
+    batched = None
+    if backend != "interp" and mem_hook is None:
+        try:
+            batched = get_batched(program)
+        except BatchFallback:
+            batched = None
+    machine = None
     nx = grid.shape[-1]
     covered = program.x_loop.trip_count * program.block
     tail = nx - covered
     cur = grid.copy()
     nxt = grid.like()
+    scratch = (np.empty_like(nxt.interior[..., covered:nx]) if tail
+               else None)
     for _ in range(steps // s):
         fill_halo(cur, boundary, value=value)
-        machine.run(
-            program,
-            {program.input_array: cur.data, program.output_array: nxt.data},
-            counter=counter,
-        )
+        arrays = {program.input_array: cur.data,
+                  program.output_array: nxt.data}
+        if batched is not None:
+            try:
+                batched.run(arrays)
+                if counter is not None:
+                    analytic_trace(program, counter)
+            except BatchFallback:
+                batched = None  # e.g. a true recurrence; stay on interp
+        if batched is None:
+            if machine is None:
+                machine = SimdMachine(program.width,
+                                      elem_bytes=program.elem_bytes,
+                                      mem_hook=mem_hook)
+            machine.run(program, arrays, counter=counter)
         if tail:
-            _apply_tail(program.tail_spec, cur, nxt, covered)
+            _apply_tail(program.tail_spec, cur, nxt, covered, scratch)
         cur, nxt = nxt, cur
     return cur
 
 
-def _apply_tail(spec, cur: Grid, nxt: Grid, covered: int) -> None:
+def _apply_tail(spec, cur: Grid, nxt: Grid, covered: int,
+                scratch: Optional[np.ndarray] = None) -> None:
     """Scalar epilogue: complete the non-block-aligned x strip
-    ``[covered, nx)`` of one sweep with shifted-view accumulation."""
+    ``[covered, nx)`` of one sweep with shifted-view accumulation.
+
+    ``scratch`` is a preallocated strip-shaped buffer for the per-tap
+    product (the driver reuses one across the whole sweep loop)."""
     nx = cur.shape[-1]
     strip = slice(covered, nx)
     dst = nxt.interior[..., strip]
     dst.fill(0.0)
+    if scratch is None:
+        scratch = np.empty_like(dst)
     for off, c in zip(spec.offsets, spec.coeffs):
         src = cur.shifted_interior(off)[..., strip]
-        np.add(dst, c * src, out=dst)
+        np.multiply(src, c, out=scratch)
+        np.add(dst, scratch, out=dst)
 
 
 def measure_trace(program: VectorProgram, grid: Grid,
-                  *, boundary: str = "periodic") -> TraceCounter:
+                  *, boundary: str = "periodic",
+                  backend: str = "auto") -> TraceCounter:
     """One sweep's executed-instruction counts (Table-2 measurements)."""
     counter = TraceCounter()
     run_program(program, grid, program.steps_per_iter,
-                boundary=boundary, counter=counter)
+                boundary=boundary, counter=counter, backend=backend)
     return counter

@@ -6,7 +6,11 @@ grids; for each, the **jigsaw**, **multiple-loads** (``auto``) and
 **multiple-permutations** (``reorg``) lowerings are executed for 1-4 time
 steps on the cycle-exact SIMD interpreter and compared against the numpy
 reference sweep within a small ulp budget (the schemes reassociate the
-same sums, so bitwise equality is only expected up to rounding).
+same sums, so bitwise equality is only expected up to rounding).  Every
+case additionally runs on the batched execution backend
+(:mod:`repro.machine.batch`), which must match the interpreter
+**bitwise** — both backends execute the same instruction stream, so no
+rounding slack is allowed between them.
 
 The example budget is controlled by ``REPRO_DIFF_EXAMPLES`` (per test
 function; each example exercises all three schemes).  The local default
@@ -90,7 +94,10 @@ def _assert_ulp_close(got: np.ndarray, want: np.ndarray, *, spec, steps,
 
 
 def _differential_case(machine, dtype, spec, steps, seed):
-    """Run every scheme for one random case against the reference."""
+    """Run every scheme for one random case against the reference, on
+    both execution backends.  The interpreter and the batched engine must
+    agree **bitwise** (they execute the same instruction stream); only the
+    comparison against the numpy reference carries an ulp budget."""
     width = machine.vector_elems
     nx = 6 * width  # divisible by every scheme block (W and 2W)
     shape = (3,) * (spec.ndim - 1) + (nx,)
@@ -101,7 +108,12 @@ def _differential_case(machine, dtype, spec, steps, seed):
         if reference is None:
             reference = apply_steps(spec, grid, steps)
         program = generate(scheme, spec, machine, grid)
-        got = run_program(program, grid, steps)
+        got = run_program(program, grid, steps, backend="interp")
+        batch = run_program(program, grid, steps, backend="batch")
+        assert np.array_equal(batch.data, got.data), (
+            f"{scheme}/{spec.tag}: batch backend diverged bitwise from "
+            f"the interpreter after {steps} step(s)"
+        )
         _assert_ulp_close(got.interior, reference.interior, spec=spec,
                           steps=steps, scheme=scheme)
 
@@ -128,6 +140,37 @@ def test_budget_meets_acceptance_floor():
     if "REPRO_DIFF_EXAMPLES" in os.environ:
         pytest.skip(f"budget overridden ({combos} combinations)")
     assert combos >= 200
+
+
+def test_backends_agree_with_prologue_carry():
+    """Jigsaw's loop-carried butterfly window (Algorithm 1's v0/vp0,
+    seeded in the prologue and slid at the end of each body) must survive
+    the batch backend's carried-register peeling bitwise."""
+    spec = star(2, 2, center=-3.25, arm=[0.5, 0.125], name="carry-probe")
+    halo = scheme_halo("jigsaw", spec, GENERIC_AVX2)
+    grid = Grid.random((5, 48), halo, seed=11)
+    program = generate("jigsaw", spec, GENERIC_AVX2, grid)
+    assert program.prologue, "probe must exercise a prologue"
+    for steps in (1, 3):
+        interp = run_program(program, grid, steps, backend="interp")
+        batch = run_program(program, grid, steps, backend="batch")
+        assert np.array_equal(batch.data, interp.data)
+
+
+def test_backends_agree_on_tail_strip():
+    """An interior not divisible by the block leaves a scalar tail strip;
+    both backends must produce identical tails and identical vector
+    regions."""
+    width = GENERIC_AVX2.vector_elems
+    spec = star(2, 1, center=-4.0, arm=[1.0], name="tail-probe")
+    halo = scheme_halo("jigsaw", spec, GENERIC_AVX2)
+    nx = 6 * width + 3  # 3-wide tail for a 2W block
+    grid = Grid.random((4, nx), halo, seed=7)
+    program = generate("jigsaw", spec, GENERIC_AVX2, grid)
+    assert program.loops[-1].trip_count * program.loops[-1].step < nx
+    interp = run_program(program, grid, 2, backend="interp")
+    batch = run_program(program, grid, 2, backend="batch")
+    assert np.array_equal(batch.data, interp.data)
 
 
 def test_known_failure_is_caught():

@@ -3,10 +3,16 @@
 import numpy as np
 import pytest
 
+from repro.config import GENERIC_AVX2
 from repro.errors import MachineError
+from repro.machine.batch import analytic_trace
 from repro.machine.isa import Affine, Instr, MemRef, Op
 from repro.machine.machine import SimdMachine
 from repro.machine.trace import TraceCounter
+from repro.schemes import SCHEMES, generate, scheme_halo
+from repro.stencils.grid import Grid
+from repro.stencils.spec import star
+from repro.vectorize.driver import measure_trace
 from repro.vectorize.program import Loop, ProgramBuilder, VectorProgram
 
 
@@ -110,6 +116,60 @@ class TestLoopCarriedState:
         out = np.zeros((2, 4))
         SimdMachine(4).run(prog, {"a": a, "out": out})
         assert np.array_equal(out, a)  # each row re-ran its prologue
+
+
+class TestAnalyticTrace:
+    """The batch backend never executes instructions one at a time, so its
+    trace is computed statically (:func:`repro.machine.batch.analytic_trace`);
+    it must tally *exactly* what the interpreter counts."""
+
+    def _assert_traces_equal(self, analytic, interp):
+        assert analytic.by_class == interp.by_class
+        assert analytic.by_op == interp.by_op
+        assert analytic.vectors == interp.vectors
+        assert analytic.steps == interp.steps
+
+    def test_matches_interpreter_on_copy_program(self):
+        prog = copy_program(n=16)
+        interp = TraceCounter()
+        SimdMachine(4).run(prog, {"a": np.zeros(16), "out": np.zeros(16)},
+                           counter=interp)
+        self._assert_traces_equal(analytic_trace(prog), interp)
+
+    def test_counts_prologue_once_per_outer_entry(self):
+        b = ProgramBuilder(4)
+        b.in_prologue()
+        b.load_to("w", b.mem(Affine.var("y"), Affine.var("x")))
+        b.in_body()
+        b.store("w", b.mem(Affine.var("y"), Affine.var("x"), array="out"))
+        b.load_to("w", b.mem(Affine.var("y"), Affine.var("x", const=4)))
+        prog = b.build(name="p", scheme="t",
+                       loops=[Loop("y", 0, 3, 1), Loop("x", 0, 8, 4)],
+                       vectors_per_iter=1)
+        interp = TraceCounter()
+        SimdMachine(4).run(prog, {"a": np.zeros((3, 12)),
+                                  "out": np.zeros((3, 12))}, counter=interp)
+        analytic = analytic_trace(prog)
+        assert analytic.loads == 3 * (1 + 2)  # prologue x3 + body x6
+        self._assert_traces_equal(analytic, interp)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_matches_interpreter_for_scheme(self, scheme):
+        # t4-jigsaw fuses 4 steps, so its x-radius quadruples: only
+        # radius-1 1-D kernels fit the butterfly window at W=4.
+        if scheme == "t4-jigsaw":
+            spec = star(1, 1, center=-3.0, arm=[0.5])
+        else:
+            spec = star(2, 2, center=-3.0, arm=[0.5, 0.25])
+        width = GENERIC_AVX2.vector_elems
+        nx = 6 * width + 3  # tail strip: analytic must count it too
+        shape = (4,) * (spec.ndim - 1) + (nx,)
+        halo = scheme_halo(scheme, spec, GENERIC_AVX2)
+        grid = Grid.random(shape, halo, seed=5)
+        prog = generate(scheme, spec, GENERIC_AVX2, grid)
+        interp = measure_trace(prog, grid, backend="interp")
+        analytic = measure_trace(prog, grid, backend="batch")
+        self._assert_traces_equal(analytic, interp)
 
 
 class TestTraceCounting:
