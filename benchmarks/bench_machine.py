@@ -8,8 +8,11 @@ asserts the batch backend's contract:
 * **bitwise identical** output grids, and
 * a **>= 10x** single-sweep speedup floor.
 
-Emits ``BENCH_machine.json`` (path overridable via ``BENCH_MACHINE_JSON``)
-so CI can archive the measured ratio as an artifact.  Runs under pytest
+Appends a timestamped run entry to ``BENCH_machine.json`` (path
+overridable via ``BENCH_MACHINE_JSON``) — the artifact is a list of runs,
+newest last, so CI archives build up a perf history instead of
+overwriting it; a legacy single-run dict is folded in as the first entry.
+Runs under pytest
 (``pytest benchmarks/bench_machine.py -s``) or stand-alone
 (``python benchmarks/bench_machine.py``).
 """
@@ -81,10 +84,28 @@ def measure() -> dict:
     }
 
 
+def _load_history(path: str) -> list:
+    """Prior runs from the artifact: a list of run entries.  A legacy
+    single-run dict is wrapped; unreadable files start fresh."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            prior = json.load(fh)
+    except (OSError, ValueError):
+        return []
+    if isinstance(prior, dict):
+        return [prior]
+    if isinstance(prior, list):
+        return [e for e in prior if isinstance(e, dict)]
+    return []
+
+
 def _report(data: dict) -> None:
     path = _artifact_path()
+    data["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    history = _load_history(path)
+    history.append(data)
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(data, fh, indent=2)
+        json.dump(history, fh, indent=2)
         fh.write("\n")
     emit(
         "Machine backends: batch vs interpreter",

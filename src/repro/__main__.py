@@ -6,8 +6,10 @@ Subcommands::
     machines                     list machine models
     inspect SCHEME KERNEL        print the generated program + mix
     estimate SCHEME KERNEL ...   modelled GStencil/s for a problem
-    tune KERNEL ...              autotune blocking for a problem
-    run KERNEL ...               execute the numpy path and time it
+    tune KERNEL --shape ...      model-guided + empirical autotuning
+                                 (persistent winner DB; --model-only for
+                                 the analytic blocking tuner)
+    run KERNEL ...               execute a kernel and time it
     cache stats|clear            inspect / wipe the kernel compile cache
     experiments [ID ...]         regenerate paper tables/figures
 """
@@ -21,6 +23,8 @@ import time
 from .analysis.report import render_dict, render_table
 from .config import PAPER_MACHINES, get_machine
 from .errors import ReproError
+from .schemes import SCHEMES
+from .vectorize.driver import EXEC_BACKENDS
 
 
 def _add_machine_arg(p: argparse.ArgumentParser) -> None:
@@ -116,51 +120,171 @@ def cmd_estimate(args) -> int:
 
 def cmd_tune(args) -> int:
     from .stencils import library
-    from .tuning import autotune
     machine = get_machine(args.machine)
     spec = library.get(args.kernel)
-    result = autotune(spec, machine, problem_size=args.size,
-                      steps=args.steps, cores=args.cores)
-    print(result.summary())
-    rows = [
-        [c.scheme, "x".join(map(str, c.tile_shape)), c.time_depth,
-         c.gstencil_s, c.result.bottleneck]
-        for c in result.ranking[:args.top]
-    ]
-    print(render_table(["scheme", "tile", "Tb", "GStencil/s", "bound"],
-                       rows))
+    shape = args.shape if args.shape is not None else args.size
+    if args.model_only:
+        from .tuning import autotune
+        if shape is None:
+            raise ReproError(
+                "pass the problem extents via --shape (e.g. --shape 128 "
+                "128) or --size 128x128")
+        result = autotune(spec, machine, problem_size=shape,
+                          steps=args.steps, cores=args.cores)
+        print(result.summary())
+        rows = [
+            [c.scheme, "x".join(map(str, c.tile_shape)), c.time_depth,
+             c.gstencil_s, c.result.bottleneck]
+            for c in result.ranking[:args.top]
+        ]
+        print(render_table(["scheme", "tile", "Tb", "GStencil/s", "bound"],
+                           rows))
+        return 0
+
+    from .tune import TuneBudget, Tuner, TuningDB, default_tuning_dir
+    if shape is None:
+        raise ReproError(
+            "pass the interior extents via --shape (e.g. --shape 128 128) "
+            "or --size 128x128")
+    db_dir = args.db_dir or default_tuning_dir()
+    budget = TuneBudget(
+        max_trials=args.budget_trials,
+        max_seconds=args.budget_seconds,
+        warmup=args.warmup,
+        repeats=args.repeats,
+        trial_timeout_s=args.trial_timeout,
+        patience=args.patience,
+    )
+    exec_backends = ((args.backend,) if args.backend is not None
+                     else ("auto", "interp"))
+    engines = tuple(e.strip() for e in args.engines.split(",") if e.strip())
+    tuner = Tuner(machine, db=TuningDB(db_dir), budget=budget)
+    report = tuner.tune(spec, shape, steps=args.steps, engines=engines,
+                        exec_backends=exec_backends, force=args.force)
+    print(report.summary())
+    if report.trials:
+        rows = []
+        for t in report.ranking[:args.top]:
+            rows.append([t.config.label(), f"{t.model_score:.1f}",
+                         f"{t.seconds * 1e3:.2f}", f"{t.mstencil_s:.2f}",
+                         t.repeats, "<- winner" if t is report.ranking[0]
+                         else ""])
+        for t in report.trials:
+            if not t.ok:
+                rows.append([t.config.label(), f"{t.model_score:.1f}",
+                             "-", "-", t.repeats,
+                             t.error or "timed out"])
+        print(render_table(
+            ["configuration", "model", "median ms", "MStencil/s",
+             "reps", ""], rows))
+    print(f"tuning db: {db_dir} [{report.key[:12]}...]")
     return 0
 
 
+#: ``repro run --scheme`` values that map onto the jigsaw compile
+#: pipeline; the other SCHEMES run their generated baseline program on
+#: the SIMD machine.
+_JIGSAW_RUN_OPTIONS = {
+    "lbv": {"time_fusion": 1, "use_sdf": False},
+    "jigsaw": {"time_fusion": 1, "use_sdf": True},
+    "t-jigsaw": {"time_fusion": "auto", "use_sdf": True},
+    "t4-jigsaw": {"time_fusion": 4, "use_sdf": True},
+}
+
+
+def _report_run(spec, size, steps: int, dt: float, engine: str,
+                detail: str) -> None:
+    points = 1
+    for n in size:
+        points *= n
+    rate = points * steps / dt / 1e6 if dt > 0 else float("inf")
+    print(f"{spec.name}: {steps} steps over {'x'.join(map(str, size))} "
+          f"in {dt:.3f}s ({rate:.1f} MStencil/s, {engine}, {detail})")
+
+
 def cmd_run(args) -> int:
+    import numpy as np
+
     from .core import compile_kernel, configure_default_cache
     from .stencils import library
     from .stencils.grid import Grid
     machine = get_machine(args.machine)
     spec = library.get(args.kernel)
+    if args.tuned and args.scheme:
+        raise ReproError("--tuned and --scheme are mutually exclusive")
     cache = None
     if args.cache_dir:
         cache = configure_default_cache(args.cache_dir)
-    exec_backend = "auto" if args.backend == "numpy" else args.backend
-    template = compile_kernel(spec, machine, Grid(args.size, 16),
-                              backend=exec_backend)
-    grid = template.grid_like(args.size, seed=0)
-    kernel = compile_kernel(spec, machine, grid, backend=exec_backend)
+    dtype = np.float32 if machine.element_bytes == 4 else np.float64
+
+    if args.scheme is not None and args.scheme not in _JIGSAW_RUN_OPTIONS:
+        # baseline schemes execute their generated program on the SIMD
+        # machine (the numpy fast path only knows jigsaw plans), so the
+        # default --backend numpy silently means machine/auto here
+        from .schemes import generate, scheme_halo
+        from .vectorize.driver import run_program
+        grid = Grid.random(args.size,
+                           scheme_halo(args.scheme, spec, machine),
+                           seed=0, dtype=dtype)
+        prog = generate(args.scheme, spec, machine, grid)
+        backend = "auto" if args.backend == "numpy" else args.backend
+        t0 = time.perf_counter()
+        run_program(prog, grid, args.steps, backend=backend)
+        dt = time.perf_counter() - t0
+        _report_run(spec, args.size, args.steps, dt,
+                    f"machine/{backend}", f"scheme: {args.scheme}")
+        return 0
+
+    tuned_cfg = None
+    plan_kwargs = {}
+    backend_flag = args.backend
+    if args.tuned:
+        from .tune import Tuner, TuningDB, default_tuning_dir
+        db = TuningDB(args.db_dir or default_tuning_dir())
+        tuned_cfg = Tuner(machine, db=db).tuned_config(spec, args.size)
+        if tuned_cfg is None:
+            raise ReproError(
+                f"no tuned configuration stored for {spec.name} @ "
+                f"{'x'.join(map(str, args.size))} on {machine.name}; run "
+                f"`repro tune {args.kernel} --shape ...` first")
+        if tuned_cfg.engine == "tiled":
+            from .parallel.executor import run_parallel
+            grid = Grid.random(args.size, spec.radius, seed=0, dtype=dtype)
+            t0 = time.perf_counter()
+            run_parallel(spec, grid, args.steps,
+                         tile_shape=tuned_cfg.tile_shape,
+                         workers=tuned_cfg.workers,
+                         backend=tuned_cfg.run_backend)
+            dt = time.perf_counter() - t0
+            _report_run(spec, args.size, args.steps, dt, "tiled executor",
+                        f"tuned: {tuned_cfg.label()}")
+            return 0
+        backend_flag = ("numpy" if tuned_cfg.engine == "numpy"
+                        else tuned_cfg.exec_backend)
+        plan_kwargs = {"tuned": tuned_cfg}
+    elif args.scheme is not None:
+        plan_kwargs = dict(_JIGSAW_RUN_OPTIONS[args.scheme])
+
+    exec_backend = "auto" if backend_flag == "numpy" else backend_flag
+    template = compile_kernel(spec, machine, Grid(args.size, 16, dtype=dtype),
+                              backend=exec_backend, **plan_kwargs)
+    grid = Grid.random(args.size, template.halo(), seed=0, dtype=dtype)
+    kernel = compile_kernel(spec, machine, grid, backend=exec_backend,
+                            **plan_kwargs)
     steps = args.steps - args.steps % kernel.plan.time_fusion
     t0 = time.perf_counter()
-    if args.backend == "numpy":
+    if backend_flag == "numpy":
         kernel.run_numpy(grid, steps)
         engine = "numpy path"
     else:
         # cycle-exact SIMD machine: batched tensor execution by default,
         # per-instruction interpreter with --backend interp
-        kernel.run(grid, steps, backend=args.backend)
-        engine = f"machine/{args.backend}"
+        kernel.run(grid, steps, backend=backend_flag)
+        engine = f"machine/{backend_flag}"
     dt = time.perf_counter() - t0
-    points = grid.npoints()
-    print(f"{spec.name}: {steps} steps over {'x'.join(map(str, args.size))} "
-          f"in {dt:.3f}s ({points * steps / dt / 1e6:.1f} MStencil/s, "
-          f"{engine}, plan: {kernel.plan.describe()})")
+    detail = (f"tuned: {tuned_cfg.label()}" if tuned_cfg is not None
+              else f"plan: {kernel.plan.describe()}")
+    _report_run(spec, args.size, steps, dt, engine, detail)
     if cache is not None:
         kernel.program  # lower through the disk cache so reruns hit it
         s = cache.stats
@@ -227,13 +351,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("machines").set_defaults(fn=cmd_machines)
 
     p = sub.add_parser("inspect")
-    p.add_argument("scheme")
+    p.add_argument("scheme", choices=SCHEMES)
     p.add_argument("kernel")
     _add_machine_arg(p)
     p.set_defaults(fn=cmd_inspect)
 
     p = sub.add_parser("estimate")
-    p.add_argument("scheme")
+    p.add_argument("scheme", choices=SCHEMES)
     p.add_argument("kernel")
     p.add_argument("--size", type=_size, required=True,
                    help="interior extents, e.g. 10000x10000")
@@ -244,12 +368,51 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_arg(p)
     p.set_defaults(fn=cmd_estimate)
 
-    p = sub.add_parser("tune")
+    p = sub.add_parser(
+        "tune",
+        description="Model-guided + empirical autotuning: rank the legal "
+                    "configurations with the analytic models, time the "
+                    "most promising ones under a budget, and store the "
+                    "winner in a persistent tuning database.")
     p.add_argument("kernel")
-    p.add_argument("--size", type=_size, required=True)
-    p.add_argument("--steps", type=int, default=100)
-    p.add_argument("--cores", type=int, default=None)
-    p.add_argument("--top", type=int, default=8)
+    p.add_argument("--shape", type=int, nargs="+", default=None,
+                   metavar="N", help="interior extents, e.g. --shape 128 128")
+    p.add_argument("--size", type=_size, default=None,
+                   help="interior extents as NxM (alias for --shape)")
+    p.add_argument("--steps", type=int, default=4,
+                   help="sweeps per empirical trial (default: %(default)s)")
+    p.add_argument("--budget-trials", type=int, default=8,
+                   help="max empirical trials (default: %(default)s)")
+    p.add_argument("--budget-seconds", type=float, default=None,
+                   help="wall-clock search budget in seconds")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timed repetitions per trial; the median is kept "
+                        "(default: %(default)s)")
+    p.add_argument("--warmup", type=int, default=1,
+                   help="untimed warmup runs per trial (default: %(default)s)")
+    p.add_argument("--trial-timeout", type=float, default=60.0,
+                   help="per-trial timeout in seconds (default: %(default)s)")
+    p.add_argument("--patience", type=int, default=4,
+                   help="stop after this many trials without a new best "
+                        "(default: %(default)s)")
+    p.add_argument("--backend", default=None, choices=EXEC_BACKENDS,
+                   help="restrict the SIMD-machine engine to one execution "
+                        "backend (default: search auto and interp)")
+    p.add_argument("--engines", default="machine,numpy,tiled",
+                   help="comma-separated engine families to search "
+                        "(default: %(default)s)")
+    p.add_argument("--db-dir", default=None,
+                   help="tuning database directory (default: "
+                        "$REPRO_TUNING_DIR or <cache>/tuning)")
+    p.add_argument("--force", action="store_true",
+                   help="re-tune even if the database has a winner")
+    p.add_argument("--top", type=int, default=8,
+                   help="ranked rows to print (default: %(default)s)")
+    p.add_argument("--model-only", action="store_true",
+                   help="legacy analytic blocking tuner (no empirical "
+                        "trials, no database)")
+    p.add_argument("--cores", type=int, default=None,
+                   help="core count for --model-only")
     _add_machine_arg(p)
     p.set_defaults(fn=cmd_tune)
 
@@ -258,11 +421,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=_size, required=True)
     p.add_argument("--steps", type=int, default=10)
     p.add_argument("--backend", default="numpy",
-                   choices=("numpy", "auto", "batch", "interp"),
+                   choices=("numpy",) + EXEC_BACKENDS,
                    help="execution engine: the numpy fast path (default), "
                         "or the cycle-exact SIMD machine with batched "
                         "tensor execution (auto/batch) or the "
                         "per-instruction interpreter (interp)")
+    p.add_argument("--scheme", default=None, choices=SCHEMES,
+                   help="run a specific vectorization scheme (jigsaw "
+                        "variants use the compile pipeline; baselines run "
+                        "their generated program on the SIMD machine)")
+    p.add_argument("--tuned", action="store_true",
+                   help="apply the stored tuning-database winner for this "
+                        "workload (see `repro tune`)")
+    p.add_argument("--db-dir", default=None,
+                   help="tuning database directory for --tuned (default: "
+                        "$REPRO_TUNING_DIR or <cache>/tuning)")
     p.add_argument("--cache-dir", default=None,
                    help="persist compiled kernels to this directory")
     _add_machine_arg(p)

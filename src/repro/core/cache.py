@@ -77,9 +77,15 @@ def machine_fingerprint(machine: MachineConfig) -> Dict[str, Any]:
     return machine_to_dict(machine)
 
 
-def _digest(payload: Dict[str, Any]) -> str:
+def digest(payload: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of ``payload`` — the key function
+    shared by the kernel cache and the tuning database
+    (:mod:`repro.tune.db`)."""
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+_digest = digest  # backwards-compatible private alias
 
 
 def plan_key(spec: StencilSpec, machine: MachineConfig, *,
@@ -379,9 +385,11 @@ def configure_default_cache(cache_dir: Optional[str] = None, *,
         return _default
 
 
-# -- small io helpers ----------------------------------------------------------
+# -- small io helpers (shared with repro.tune.db) ------------------------------
 
-def _read_json(path: str) -> Optional[Any]:
+def read_json(path: str) -> Optional[Any]:
+    """Parse a JSON file, returning ``None`` on any IO/parse failure
+    (disk artifacts are never trusted to be well-formed)."""
     try:
         with open(path, "r", encoding="utf-8") as fh:
             return json.load(fh)
@@ -389,8 +397,14 @@ def _read_json(path: str) -> Optional[Any]:
         return None
 
 
-def _write_json_atomic(path: str, payload: Any) -> None:
+def write_json_atomic(path: str, payload: Any) -> None:
+    """Write JSON via a temp file + atomic rename, so a concurrent reader
+    never observes a half-written entry."""
     tmp = f"{path}.tmp.{os.getpid()}"
     with open(tmp, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, sort_keys=True)
     os.replace(tmp, path)
+
+
+_read_json = read_json       # backwards-compatible private aliases
+_write_json_atomic = write_json_atomic

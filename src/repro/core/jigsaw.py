@@ -253,8 +253,10 @@ def compile(
     grid: Grid,
     *,
     time_fusion: int | str = "auto",
+    use_sdf: bool = True,
     cache=None,
     backend: str = "auto",
+    tuned=None,
 ):
     """Compile ``spec`` into a ready-to-run :class:`~repro.core.kernel.CompiledKernel`
     (planner-selected fusion depth when ``time_fusion="auto"``).
@@ -267,15 +269,26 @@ def compile(
     ``backend`` selects the SIMD-machine execution engine the kernel's
     :meth:`~repro.core.kernel.CompiledKernel.run` uses (``"auto"`` =
     batched tensor execution with automatic interpreter fallback).
+
+    ``tuned`` applies an autotuned configuration (e.g. a
+    :class:`repro.tune.TuningDB` winner) over the static defaults: its
+    ``time_fusion``/``use_sdf``/plan backend replace the corresponding
+    keywords, so runs after a ``repro tune`` transparently pick up the
+    stored plan.
     """
     # local imports: planner/cache import this module
     from .cache import default_cache
     from .kernel import CompiledKernel
     from .planner import plan
+    if tuned is not None:
+        time_fusion = getattr(tuned, "time_fusion", time_fusion)
+        use_sdf = getattr(tuned, "use_sdf", use_sdf)
+        backend = getattr(tuned, "plan_backend", None) or backend
     if cache is None:
         cache = default_cache()
     if cache is False:
-        p = plan(spec, machine, time_fusion=time_fusion, backend=backend)
+        p = plan(spec, machine, time_fusion=time_fusion, use_sdf=use_sdf,
+                 backend=backend)
         return CompiledKernel(plan=p, machine=machine, grid=grid)
     return cache.compile(spec, machine, grid, time_fusion=time_fusion,
-                         backend=backend)
+                         use_sdf=use_sdf, backend=backend)

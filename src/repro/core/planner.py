@@ -97,8 +97,20 @@ def plan(
     time_fusion: Union[int, str] = "auto",
     use_sdf: bool = True,
     backend: str = "auto",
+    tuned=None,
 ) -> JigsawPlan:
-    """Build a :class:`JigsawPlan`, validating feasibility."""
+    """Build a :class:`JigsawPlan`, validating feasibility.
+
+    ``tuned`` overrides the static policy with an autotuned
+    configuration — any object carrying ``time_fusion``/``use_sdf`` (a
+    :class:`repro.tune.TuneConfig`, a :class:`repro.tune.TuningRecord`'s
+    ``config``) takes precedence over the corresponding keyword, so a
+    stored tuning-database winner is applied transparently.
+    """
+    if tuned is not None:
+        time_fusion = getattr(tuned, "time_fusion", time_fusion)
+        use_sdf = getattr(tuned, "use_sdf", use_sdf)
+        backend = getattr(tuned, "plan_backend", None) or backend
     if backend not in ("auto", "batch", "interp"):
         raise PlanError(
             f"unknown execution backend {backend!r}; "

@@ -50,3 +50,8 @@ class ModelError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment runner was configured with unknown ids/parameters."""
+
+
+class TuneError(ReproError):
+    """An autotuning request is invalid (empty search space, bad budget,
+    workload/spec rank mismatch, ...)."""

@@ -41,7 +41,17 @@ from .errors import ReproError
 from .parallel.executor import BACKENDS, run_parallel
 from .stencils.grid import Grid
 from .stencils.spec import StencilSpec
+from .tune.db import TuningDB
+from .tune.engine import TuneBudget
+from .tune.tuner import TuneReport, Tuner
 from .vectorize.driver import EXEC_BACKENDS
+
+#: the deliberately small search budget ``compile_many(tune=True)`` uses
+#: when a workload has no stored winner yet: enough to compare the plan
+#: variants and the default, cheap enough for a compile path.  Explicit
+#: ``tune_budget=`` overrides it.
+DEFAULT_SERVICE_BUDGET = TuneBudget(max_trials=4, warmup=0, repeats=1,
+                                    trial_timeout_s=30.0, patience=3)
 
 
 @dataclass(frozen=True)
@@ -85,6 +95,8 @@ class KernelService:
         run_workers: int = 4,
         run_backend: str = "thread",
         exec_backend: str = "auto",
+        tuning_db: Optional[TuningDB] = None,
+        tune_budget: Optional[TuneBudget] = None,
     ) -> None:
         if cache is not None and cache_dir is not None:
             raise ReproError("pass either cache or cache_dir, not both")
@@ -111,57 +123,105 @@ class KernelService:
         #: SIMD-machine execution backend stamped on every compiled
         #: kernel (see :data:`repro.vectorize.driver.EXEC_BACKENDS`)
         self.exec_backend = exec_backend
+        if tuning_db is None:
+            # disk-backed caches get a disk-backed tuning DB next to the
+            # kernel entries; memory-only caches tune in memory
+            tuning_db = TuningDB(
+                os.path.join(cache.cache_dir, "tuning")
+                if cache.cache_dir else None)
+        #: persistent winner store consulted by ``compile_many(tune=True)``
+        self.tuning_db = tuning_db
+        self.tune_budget = tune_budget or DEFAULT_SERVICE_BUDGET
 
     # -- compilation -----------------------------------------------------------
     def compile(self, spec: StencilSpec, shape: Sequence[int], *,
                 time_fusion: Union[int, str] = "auto",
-                use_sdf: bool = True) -> CompiledKernel:
+                use_sdf: bool = True,
+                backend: Optional[str] = None) -> CompiledKernel:
         """Compile one kernel through the service cache.
 
         The program is lowered eagerly so the returned kernel is
-        ready-to-run (and the expensive work is behind the cache)."""
+        ready-to-run (and the expensive work is behind the cache).
+        ``backend`` overrides the service-wide execution backend for this
+        kernel (used by tuned compiles)."""
+        backend = backend or self.exec_backend
         plan = self.cache.plan(spec, self.machine,
                                time_fusion=time_fusion, use_sdf=use_sdf,
-                               backend=self.exec_backend)
+                               backend=backend)
         halo = required_halo(spec, self.machine,
                              time_fusion=plan.time_fusion)
         grid = Grid(tuple(shape), halo)
         kernel = CompiledKernel(plan=plan, machine=self.machine, grid=grid,
                                 cache=self.cache,
-                                backend=self.exec_backend)
+                                backend=backend)
         kernel.program  # force lowering through the cache
         return kernel
 
     def compile_many(
         self,
         requests: Sequence[Union[CompileRequest, Tuple]],
+        *,
+        tune: bool = False,
     ) -> List[CompiledKernel]:
         """Compile a batch, deduplicating identical requests and lowering
         the distinct ones concurrently.  Results are returned in request
-        order; duplicate requests share one compiled kernel."""
+        order; duplicate requests share one compiled kernel.
+
+        With ``tune=True`` each request's plan options are replaced by the
+        autotuned winner for its workload: a :class:`~repro.tune.TuningDB`
+        hit applies instantly (zero trials), a miss runs the tuner under
+        the service's ``tune_budget`` first and stores the winner for next
+        time.  Tuned winners on a non-plan engine (pure numpy/tiled
+        execution) only pin plan options, not the executor."""
         reqs = [r if isinstance(r, CompileRequest) else CompileRequest(*r)
                 for r in requests]
-        distinct: Dict[Tuple[str, Tuple[int, ...]], CompileRequest] = {}
-        for r in reqs:
-            k = self._request_key(r)
-            distinct.setdefault(k, r)
-        compiled: Dict[Tuple[str, Tuple[int, ...]], CompiledKernel] = {}
+        resolved = [self._resolve(r, tune=tune) for r in reqs]
+        distinct: Dict[Tuple, Tuple[CompileRequest, Dict]] = {}
+        for r, (key, kwargs) in zip(reqs, resolved):
+            distinct.setdefault(key, (r, kwargs))
+        compiled: Dict[Tuple, CompiledKernel] = {}
         if distinct:
             workers = min(self.compile_workers, len(distinct))
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    k: pool.submit(self.compile, r.spec, r.shape,
-                                   time_fusion=r.time_fusion,
-                                   use_sdf=r.use_sdf)
-                    for k, r in distinct.items()
+                    k: pool.submit(self.compile, r.spec, r.shape, **kwargs)
+                    for k, (r, kwargs) in distinct.items()
                 }
                 compiled = {k: f.result() for k, f in futures.items()}
-        return [compiled[self._request_key(r)] for r in reqs]
+        return [compiled[key] for key, _ in resolved]
 
-    def _request_key(self, r: CompileRequest) -> Tuple[str, Tuple[int, ...]]:
-        return (plan_key(r.spec, self.machine, time_fusion=r.time_fusion,
-                         use_sdf=r.use_sdf, backend=self.exec_backend),
-                r.shape)
+    def _resolve(self, r: CompileRequest, *,
+                 tune: bool) -> Tuple[Tuple, Dict]:
+        """The deduplication key and effective compile kwargs for one
+        request (tuned overrides already applied)."""
+        kwargs: Dict = {"time_fusion": r.time_fusion, "use_sdf": r.use_sdf,
+                        "backend": self.exec_backend}
+        if tune:
+            cfg = self.tuner().tune(r.spec, r.shape,
+                                    budget=self.tune_budget).best.config
+            if cfg.is_plan_aware:
+                kwargs = {"time_fusion": cfg.time_fusion,
+                          "use_sdf": cfg.use_sdf,
+                          "backend": cfg.plan_backend}
+        key = (plan_key(r.spec, self.machine,
+                        time_fusion=kwargs["time_fusion"],
+                        use_sdf=kwargs["use_sdf"],
+                        backend=kwargs["backend"]),
+               r.shape)
+        return key, kwargs
+
+    # -- tuning ----------------------------------------------------------------
+    def tuner(self) -> Tuner:
+        """A :class:`~repro.tune.Tuner` sharing this service's machine,
+        kernel cache and tuning database."""
+        return Tuner(self.machine, cache=self.cache, db=self.tuning_db,
+                     budget=self.tune_budget)
+
+    def tune(self, spec: StencilSpec, shape: Sequence[int],
+             **kwargs) -> TuneReport:
+        """Autotune one workload through the service's database (see
+        :meth:`repro.tune.Tuner.tune` for keywords)."""
+        return self.tuner().tune(spec, tuple(shape), **kwargs)
 
     # -- execution -------------------------------------------------------------
     def run(self, job: SweepJob) -> Grid:
@@ -184,8 +244,12 @@ class KernelService:
 
     # -- introspection -----------------------------------------------------------
     def stats(self) -> Dict[str, int]:
-        """The service cache's hit/miss/evict counters + disk occupancy."""
-        return self.cache.stats_dict()
+        """The service cache's hit/miss/evict counters + disk occupancy,
+        plus the tuning database's counters (``tuning_`` prefix)."""
+        out = self.cache.stats_dict()
+        for k, v in self.tuning_db.stats_dict().items():
+            out[f"tuning_{k}"] = v
+        return out
 
 
 __all__ = ["CompileRequest", "SweepJob", "KernelService"]

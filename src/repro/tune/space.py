@@ -1,0 +1,265 @@
+"""The autotuner's search space: every *legal* execution configuration
+for one workload.
+
+A workload is ``(StencilSpec, MachineConfig, interior shape)``; a
+configuration (:class:`TuneConfig`) is one complete way to execute sweeps
+of it.  Three execution engines exist today:
+
+* ``"machine"`` — the cycle-exact SIMD machine
+  (:meth:`repro.core.kernel.CompiledKernel.run`), parameterized by the
+  plan (``time_fusion``, ``use_sdf``) and the execution backend
+  (:data:`repro.vectorize.driver.EXEC_BACKENDS`);
+* ``"numpy"`` — the fused/flattened numpy fast path
+  (:meth:`~repro.core.kernel.CompiledKernel.run_numpy`), parameterized by
+  the plan only;
+* ``"tiled"`` — the parallel tile executor
+  (:func:`repro.parallel.executor.run_parallel`), parameterized by the
+  tile shape (from the :mod:`repro.tiling` ladder), the worker count and
+  the executor backend.
+
+:func:`enumerate_space` rejects illegal points up front — an ITM depth
+the butterfly window cannot cover (:func:`repro.core.itm.fusable`), a
+machine-engine x extent below one vector block, a tile that does not fit
+the grid — so the search engine never wastes a trial on a configuration
+that cannot run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..config import MachineConfig
+from ..core.itm import fusable
+from ..errors import TuneError
+from ..parallel.executor import BACKENDS as RUN_BACKENDS
+from ..stencils.spec import StencilSpec
+from ..tuning import candidate_tiles
+from ..vectorize.driver import EXEC_BACKENDS
+
+#: the execution engines a configuration can select.
+ENGINES: Tuple[str, ...] = ("machine", "numpy", "tiled")
+
+#: ITM depths the space considers (filtered by :func:`fusable` per spec).
+FUSION_LADDER: Tuple[int, ...] = (1, 2, 4)
+
+
+@dataclass(frozen=True)
+class TuneConfig:
+    """One point of the search space — a complete execution recipe.
+
+    Fields irrelevant to the selected engine keep their defaults and are
+    dropped from :meth:`as_dict`, so two configurations that execute
+    identically are equal and share one database entry.
+    """
+
+    engine: str = "machine"
+    time_fusion: int = 1
+    use_sdf: bool = True
+    exec_backend: str = "auto"             #: machine engine only
+    tile_shape: Optional[Tuple[int, ...]] = None  #: tiled engine only
+    workers: int = 1                        #: tiled engine only
+    run_backend: str = "thread"             #: tiled engine only
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise TuneError(
+                f"unknown engine {self.engine!r}; known: {ENGINES}")
+        if self.time_fusion < 1:
+            raise TuneError("time_fusion must be >= 1")
+        if self.exec_backend not in EXEC_BACKENDS:
+            raise TuneError(
+                f"unknown exec backend {self.exec_backend!r}; "
+                f"known: {EXEC_BACKENDS}")
+        if self.run_backend not in RUN_BACKENDS:
+            raise TuneError(
+                f"unknown run backend {self.run_backend!r}; "
+                f"known: {RUN_BACKENDS}")
+        if self.workers < 1:
+            raise TuneError("workers must be >= 1")
+        if self.engine == "tiled":
+            if self.tile_shape is None:
+                raise TuneError("tiled configurations need a tile_shape")
+            object.__setattr__(
+                self, "tile_shape",
+                tuple(int(t) for t in self.tile_shape))
+        if self.tile_shape is not None and any(
+                t < 1 for t in self.tile_shape):
+            raise TuneError("tile extents must be >= 1")
+
+    # -- identity --------------------------------------------------------------
+    @property
+    def is_plan_aware(self) -> bool:
+        """Whether the engine executes a compiled plan (so ``time_fusion``
+        / ``use_sdf`` matter)."""
+        return self.engine in ("machine", "numpy")
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Canonical JSON content: engine-relevant fields only."""
+        if self.engine == "tiled":
+            return {
+                "engine": self.engine,
+                "tile_shape": list(self.tile_shape),
+                "workers": self.workers,
+                "run_backend": self.run_backend,
+            }
+        out: Dict[str, Any] = {
+            "engine": self.engine,
+            "time_fusion": self.time_fusion,
+            "use_sdf": self.use_sdf,
+        }
+        if self.engine == "machine":
+            out["exec_backend"] = self.exec_backend
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "TuneConfig":
+        """Rebuild from :meth:`as_dict` content, raising
+        :class:`~repro.errors.TuneError` on anything malformed (the
+        database uses this to detect corrupted/stale entries)."""
+        if not isinstance(payload, dict):
+            raise TuneError("configuration payload is not an object")
+        known = {"engine", "time_fusion", "use_sdf", "exec_backend",
+                 "tile_shape", "workers", "run_backend"}
+        unknown = set(payload) - known
+        if unknown:
+            raise TuneError(f"unknown configuration fields {sorted(unknown)}")
+        kwargs = dict(payload)
+        if "tile_shape" in kwargs and kwargs["tile_shape"] is not None:
+            kwargs["tile_shape"] = tuple(int(t) for t in kwargs["tile_shape"])
+        try:
+            return cls(**kwargs)
+        except (TypeError, ValueError) as exc:
+            raise TuneError(f"malformed configuration: {exc}") from None
+
+    # -- integration helpers ---------------------------------------------------
+    @property
+    def plan_backend(self) -> str:
+        """The SIMD-machine backend this configuration pins on a plan
+        (``"auto"`` for engines that never reach the SIMD machine)."""
+        return self.exec_backend if self.engine == "machine" else "auto"
+
+    def plan_kwargs(self) -> Dict[str, Any]:
+        """Keyword arguments for :func:`repro.core.planner.plan` /
+        :meth:`repro.core.cache.KernelCache.plan`."""
+        if not self.is_plan_aware:
+            return {"time_fusion": 1, "use_sdf": True, "backend": "auto"}
+        return {"time_fusion": self.time_fusion, "use_sdf": self.use_sdf,
+                "backend": self.plan_backend}
+
+    def label(self) -> str:
+        """Compact human-readable form for tables and logs."""
+        if self.engine == "tiled":
+            tile = "x".join(map(str, self.tile_shape))
+            return f"tiled[{tile}] w={self.workers} {self.run_backend}"
+        sdf = "sdf" if self.use_sdf else "no-sdf"
+        if self.engine == "machine":
+            return f"machine/{self.exec_backend} tf={self.time_fusion} {sdf}"
+        return f"numpy tf={self.time_fusion} {sdf}"
+
+
+def worker_ladder(limit: Optional[int] = None) -> List[int]:
+    """1, 2, 4, ... up to ``limit`` (default: the host's CPU count,
+    capped at 8 — beyond that the GIL-bound tile dispatch stops scaling)."""
+    cap = limit if limit is not None else min(os.cpu_count() or 4, 8)
+    out = [1]
+    w = 2
+    while w <= cap:
+        out.append(w)
+        w *= 2
+    return out
+
+
+def default_config(spec: StencilSpec, machine: MachineConfig) -> "TuneConfig":
+    """The planner's static choice, as a configuration: the §4.3–§4.4
+    deployment policy on the default SIMD-machine backend.  This is the
+    baseline every search is measured against (and always receives an
+    empirical trial)."""
+    from ..core.planner import auto_fusion
+    return TuneConfig(engine="machine",
+                      time_fusion=auto_fusion(spec, machine),
+                      use_sdf=True, exec_backend="auto")
+
+
+def enumerate_space(
+    spec: StencilSpec,
+    machine: MachineConfig,
+    shape: Sequence[int],
+    *,
+    engines: Sequence[str] = ENGINES,
+    exec_backends: Sequence[str] = ("auto", "interp"),
+    run_backends: Sequence[str] = ("thread",),
+    max_workers: Optional[int] = None,
+    tile_options_per_axis: int = 3,
+) -> List[TuneConfig]:
+    """All legal configurations for ``spec`` over an interior ``shape``.
+
+    ``engines`` / ``exec_backends`` / ``run_backends`` restrict the
+    families considered (the CLI's ``--backend interp`` maps straight to
+    ``exec_backends=("interp",)``).  Illegal points never appear:
+    infeasible ITM depths, machine-engine x extents below one ``2W``
+    block, and tiles exceeding the grid are rejected here.
+    """
+    shape = tuple(int(n) for n in shape)
+    if len(shape) != spec.ndim:
+        raise TuneError(
+            f"shape rank {len(shape)} != stencil ndim {spec.ndim}")
+    if any(n < 1 for n in shape):
+        raise TuneError(f"shape extents must be >= 1, got {shape}")
+    for e in engines:
+        if e not in ENGINES:
+            raise TuneError(f"unknown engine {e!r}; known: {ENGINES}")
+    for b in exec_backends:
+        if b not in EXEC_BACKENDS:
+            raise TuneError(
+                f"unknown exec backend {b!r}; known: {EXEC_BACKENDS}")
+    for b in run_backends:
+        if b not in RUN_BACKENDS:
+            raise TuneError(
+                f"unknown run backend {b!r}; known: {RUN_BACKENDS}")
+
+    width = machine.vector_elems
+    depths = [d for d in FUSION_LADDER if fusable(spec, d, width=width)]
+    configs: List[TuneConfig] = []
+    seen = set()
+
+    def add(cfg: TuneConfig) -> None:
+        key = tuple(sorted(cfg.as_dict().items(),
+                           key=lambda kv: kv[0]))
+        key = repr(key)
+        if key not in seen:
+            seen.add(key)
+            configs.append(cfg)
+
+    if "machine" in engines and shape[-1] >= 2 * width:
+        for depth in depths:
+            for use_sdf in (True, False):
+                for backend in exec_backends:
+                    add(TuneConfig(engine="machine", time_fusion=depth,
+                                   use_sdf=use_sdf, exec_backend=backend))
+    if "numpy" in engines:
+        for depth in depths:
+            for use_sdf in (True, False):
+                add(TuneConfig(engine="numpy", time_fusion=depth,
+                               use_sdf=use_sdf))
+    if "tiled" in engines:
+        tiles = candidate_tiles(shape, per_axis_limit=tile_options_per_axis)
+        for tile in tiles:
+            if any(t > n for t, n in zip(tile, shape)):
+                continue  # a tile larger than the grid cannot partition it
+            for workers in worker_ladder(max_workers):
+                for backend in run_backends:
+                    add(TuneConfig(engine="tiled", tile_shape=tile,
+                                   workers=workers, run_backend=backend))
+    return configs
+
+
+__all__ = [
+    "ENGINES",
+    "FUSION_LADDER",
+    "TuneConfig",
+    "default_config",
+    "enumerate_space",
+    "worker_ladder",
+]

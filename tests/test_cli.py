@@ -44,13 +44,31 @@ class TestCli:
         )
         assert code == 0
 
-    def test_tune(self, capsys):
+    def test_tune_model_only(self, capsys):
         code, out, _ = run_cli(
             capsys, "tune", "heat-1d", "--size", "65536", "--steps", "10",
-            "--top", "3",
+            "--top", "3", "--model-only",
         )
         assert code == 0
         assert "Tb" in out
+
+    def test_tune_empirical_then_db_hit(self, tmp_path, capsys):
+        argv = ("tune", "heat-1d", "--shape", "2048", "--steps", "2",
+                "--budget-trials", "2", "--repeats", "1", "--warmup", "0",
+                "--db-dir", str(tmp_path))
+        code, out, _ = run_cli(capsys, *argv)
+        assert code == 0
+        assert "MStencil/s" in out and "winner" in out
+        assert "legal configuration" in out
+        # the winner is on disk, so the rerun is a pure database hit
+        code, out, _ = run_cli(capsys, *argv)
+        assert code == 0
+        assert "0 empirical trials" in out
+
+    def test_tune_requires_shape(self, capsys):
+        code, _, err = run_cli(capsys, "tune", "heat-1d")
+        assert code == 2
+        assert "--shape" in err
 
     def test_run(self, capsys):
         code, out, _ = run_cli(
@@ -58,6 +76,65 @@ class TestCli:
         )
         assert code == 0
         assert "MStencil/s" in out
+
+    def test_run_baseline_scheme(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "heat-1d", "--size", "256", "--steps", "2",
+            "--scheme", "reorg",
+        )
+        assert code == 0
+        assert "scheme: reorg" in out and "machine/" in out
+
+    def test_run_jigsaw_scheme(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "heat-1d", "--size", "4096", "--steps", "4",
+            "--scheme", "t-jigsaw",
+        )
+        assert code == 0
+        assert "fuse 2 step(s)" in out
+
+    def test_run_tuned_without_db_entry(self, tmp_path, capsys):
+        code, _, err = run_cli(
+            capsys, "run", "heat-1d", "--size", "4096", "--tuned",
+            "--db-dir", str(tmp_path),
+        )
+        assert code == 2
+        assert "no tuned configuration" in err
+
+    def test_run_tuned_applies_db_winner(self, tmp_path, capsys):
+        code, _, _ = run_cli(
+            capsys, "tune", "heat-1d", "--shape", "2048", "--steps", "2",
+            "--budget-trials", "2", "--repeats", "1", "--warmup", "0",
+            "--db-dir", str(tmp_path))
+        assert code == 0
+        code, out, _ = run_cli(
+            capsys, "run", "heat-1d", "--size", "2048", "--steps", "4",
+            "--tuned", "--db-dir", str(tmp_path))
+        assert code == 0
+        assert "tuned:" in out
+
+    def test_run_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            run_cli(capsys, "run", "heat-1d", "--size", "4096",
+                    "--backend", "cuda")
+        assert exc.value.code == 2
+        _, err = capsys.readouterr()
+        assert "invalid choice" in err and "interp" in err
+
+    def test_run_rejects_unknown_scheme(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            run_cli(capsys, "run", "heat-1d", "--size", "4096",
+                    "--scheme", "magic")
+        assert exc.value.code == 2
+        _, err = capsys.readouterr()
+        assert "invalid choice" in err and "jigsaw" in err
+
+    def test_inspect_rejects_unknown_scheme(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            run_cli(capsys, "inspect", "magic", "heat-1d")
+        assert exc.value.code == 2
+        _, err = capsys.readouterr()
+        assert "invalid choice" in err
 
     def test_experiments_subset(self, capsys):
         code, out, _ = run_cli(capsys, "experiments", "table1")

@@ -102,3 +102,26 @@ class TestEstimate:
         a = model.estimate(cost, points=10**6, steps=10)
         b = model.estimate(cost, points=10**6, steps=10, efficiency=0.5)
         assert a.speedup_over(b) > 1.0
+
+
+class TestSchemeRanking:
+    """The model must reproduce the paper's headline ordering: jigsaw
+    above the multiple-loads ("auto") and multiple-permutations
+    ("reorg") baselines on every library kernel.  The autotuner's stage-1
+    pruning (:mod:`repro.tune.engine`) relies on this ordering."""
+
+    @pytest.mark.parametrize("kernel", library.names())
+    @pytest.mark.parametrize("baseline", ["auto", "reorg"])
+    def test_jigsaw_ranks_above_baselines(self, model, kernel, baseline):
+        spec = library.get(kernel)
+        j = model.estimate(model_cost("jigsaw", spec, GENERIC_AVX2),
+                           points=10**6, steps=10)
+        b = model.estimate(model_cost(baseline, spec, GENERIC_AVX2),
+                           points=10**6, steps=10)
+        # fewer shuffles -> strictly cheaper compute, always
+        assert j.compute_time_s < b.compute_time_s
+        # end-to-end throughput never loses; memory-bound 1-D kernels may
+        # tie at the bandwidth roof, compute-bound kernels must win
+        assert j.gstencil_s >= b.gstencil_s
+        if j.bottleneck == "compute":
+            assert j.gstencil_s > b.gstencil_s

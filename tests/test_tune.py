@@ -1,0 +1,359 @@
+"""Tests for the autotuning subsystem (:mod:`repro.tune`): search-space
+legality, budget validation, database robustness, end-to-end search with
+persistent winners, and the planner/compile/service integration."""
+
+import json
+import os
+
+import pytest
+
+from repro.config import GENERIC_AVX2
+from repro.core.cache import KernelCache
+from repro.core.itm import fusable
+from repro.core.planner import auto_fusion, plan
+from repro.errors import TuneError
+from repro.stencils import library
+from repro.tune import (
+    ENGINES,
+    TuneBudget,
+    TuneConfig,
+    Tuner,
+    TuningDB,
+    TuningRecord,
+    default_config,
+    enumerate_space,
+    workload_key,
+)
+from repro.tune.engine import select_top, trial_steps
+
+MACHINE = GENERIC_AVX2
+HEAT1D = library.get("heat-1d")
+HEAT2D = library.get("heat-2d")
+
+#: a tiny budget every empirical test shares: at most a handful of
+#: sub-millisecond trials
+FAST = TuneBudget(max_trials=2, warmup=0, repeats=1, trial_timeout_s=30.0)
+
+
+def fast_tuner(db=None):
+    return Tuner(MACHINE, cache=KernelCache(None),
+                 db=db if db is not None else TuningDB(None), budget=FAST)
+
+
+class TestTuneConfig:
+    def test_default_is_machine_engine(self):
+        cfg = TuneConfig()
+        assert cfg.engine == "machine" and cfg.is_plan_aware
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(TuneError):
+            TuneConfig(engine="gpu")
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(TuneError):
+            TuneConfig(time_fusion=0)
+        with pytest.raises(TuneError):
+            TuneConfig(exec_backend="cuda")
+        with pytest.raises(TuneError):
+            TuneConfig(engine="tiled")  # tile_shape required
+        with pytest.raises(TuneError):
+            TuneConfig(engine="tiled", tile_shape=(0, 8))
+
+    def test_as_dict_drops_irrelevant_fields(self):
+        assert "exec_backend" not in TuneConfig(engine="numpy").as_dict()
+        assert "tile_shape" not in TuneConfig(engine="machine").as_dict()
+        tiled = TuneConfig(engine="tiled", tile_shape=(8, 8)).as_dict()
+        assert "time_fusion" not in tiled and "use_sdf" not in tiled
+
+    def test_round_trips_through_dict(self):
+        for cfg in (TuneConfig(engine="machine", time_fusion=2,
+                               exec_backend="interp"),
+                    TuneConfig(engine="numpy", use_sdf=False),
+                    TuneConfig(engine="tiled", tile_shape=(16, 16),
+                               workers=2)):
+            assert TuneConfig.from_dict(cfg.as_dict()) == cfg
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(TuneError):
+            TuneConfig.from_dict({"engine": "numpy", "gpu": True})
+        with pytest.raises(TuneError):
+            TuneConfig.from_dict("numpy")
+
+    def test_plan_kwargs_pin_defaults_for_non_plan_engines(self):
+        cfg = TuneConfig(engine="tiled", tile_shape=(8, 8))
+        assert cfg.plan_kwargs() == {"time_fusion": 1, "use_sdf": True,
+                                     "backend": "auto"}
+        assert cfg.plan_backend == "auto"
+
+    def test_default_config_matches_planner_policy(self):
+        for name in ("heat-1d", "heat-2d", "box-3d27p"):
+            spec = library.get(name)
+            cfg = default_config(spec, MACHINE)
+            assert cfg.engine == "machine"
+            assert cfg.time_fusion == auto_fusion(spec, MACHINE)
+
+
+class TestTuneBudget:
+    def test_validation(self):
+        with pytest.raises(TuneError):
+            TuneBudget(max_trials=0)
+        with pytest.raises(TuneError):
+            TuneBudget(max_seconds=0.0)
+        with pytest.raises(TuneError):
+            TuneBudget(repeats=0)
+        with pytest.raises(TuneError):
+            TuneBudget(warmup=-1)
+        with pytest.raises(TuneError):
+            TuneBudget(trial_timeout_s=0.0)
+        with pytest.raises(TuneError):
+            TuneBudget(patience=0)
+
+    def test_trial_steps_round_up_to_fused_depth(self):
+        cfg = TuneConfig(engine="machine", time_fusion=4)
+        assert trial_steps(cfg, 3) == 4
+        assert trial_steps(cfg, 4) == 4
+        assert trial_steps(TuneConfig(engine="tiled", tile_shape=(8,)), 3) == 3
+
+
+class TestSearchSpace:
+    def test_every_point_is_legal(self):
+        width = MACHINE.vector_elems
+        for cfg in enumerate_space(HEAT2D, MACHINE, (64, 64)):
+            if cfg.is_plan_aware:
+                assert fusable(HEAT2D, cfg.time_fusion, width=width)
+            else:
+                assert all(t <= n for t, n in zip(cfg.tile_shape, (64, 64)))
+
+    def test_space_covers_all_engines(self):
+        fams = {c.engine for c in enumerate_space(HEAT2D, MACHINE, (64, 64))}
+        assert fams == set(ENGINES)
+
+    def test_narrow_x_drops_the_machine_engine(self):
+        # below one 2W block the SIMD machine cannot run a sweep
+        narrow = enumerate_space(HEAT2D, MACHINE,
+                                 (64, 2 * MACHINE.vector_elems - 1))
+        assert all(c.engine != "machine" for c in narrow)
+
+    def test_infeasible_fusion_depths_are_rejected(self):
+        star = library.get("star-1d7p")  # radius 3: 4-step ITM overflows W
+        depths = {c.time_fusion
+                  for c in enumerate_space(star, MACHINE, (4096,))
+                  if c.is_plan_aware}
+        assert 4 not in depths
+
+    def test_engine_filter_and_validation(self):
+        only = enumerate_space(HEAT2D, MACHINE, (64, 64),
+                               engines=("numpy",))
+        assert {c.engine for c in only} == {"numpy"}
+        with pytest.raises(TuneError):
+            enumerate_space(HEAT2D, MACHINE, (64, 64), engines=("gpu",))
+        with pytest.raises(TuneError):
+            enumerate_space(HEAT2D, MACHINE, (64, 64),
+                            exec_backends=("cuda",))
+        with pytest.raises(TuneError):
+            enumerate_space(HEAT2D, MACHINE, (64,))  # rank mismatch
+
+    def test_no_duplicate_configurations(self):
+        space = enumerate_space(HEAT2D, MACHINE, (64, 64))
+        keys = [repr(sorted(c.as_dict().items())) for c in space]
+        assert len(keys) == len(set(keys))
+
+    def test_select_top_stratifies_and_forces_baseline(self):
+        space = enumerate_space(HEAT2D, MACHINE, (64, 64))
+        ranked = [(c, float(len(space) - i)) for i, c in enumerate(space)]
+        baseline = default_config(HEAT2D, MACHINE)
+        picked = select_top(ranked, 4, always=[baseline])
+        assert picked[0][0].as_dict() == baseline.as_dict()
+        # stratified: more than one engine family among the top picks
+        assert len({c.engine for c, _ in picked}) > 1
+
+
+class TestWorkloadKey:
+    def test_any_input_change_changes_the_key(self):
+        base = workload_key(HEAT2D, MACHINE, (64, 64))
+        assert workload_key(HEAT2D, MACHINE, (64, 64)) == base
+        assert workload_key(HEAT1D, MACHINE, (64,)) != base
+        assert workload_key(HEAT2D, MACHINE, (64, 128)) != base
+        assert workload_key(HEAT2D, MACHINE, (64, 64),
+                            boundary="constant") != base
+
+
+def make_record(key, **over):
+    fields = dict(key=key, config=TuneConfig(engine="numpy"),
+                  mstencil_s=10.0, seconds=0.5, steps=2)
+    fields.update(over)
+    return TuningRecord(**fields)
+
+
+class TestTuningDB:
+    """Robustness mirror of the kernel cache's disk-trust tests: entries
+    are never trusted on read — anything corrupted or stale is discarded,
+    deleted, and re-tuned."""
+
+    def test_memory_roundtrip(self):
+        db = TuningDB(None)
+        rec = make_record("k1")
+        db.put(rec)
+        assert db.get("k1") == rec
+        assert db.get("nope") is None
+        assert db.stats_dict()["entries"] == 1
+
+    def test_disk_roundtrip_across_instances(self, tmp_path):
+        db = TuningDB(str(tmp_path))
+        db.put(make_record("k1"))
+        assert db.writes == 1
+        fresh = TuningDB(str(tmp_path))
+        rec = fresh.get("k1")
+        assert rec is not None and rec.config.engine == "numpy"
+        assert fresh.hits == 1
+
+    def _entry_path(self, tmp_path, key):
+        return os.path.join(str(tmp_path), f"{key}.json")
+
+    def test_corrupted_json_discarded_and_deleted(self, tmp_path):
+        db = TuningDB(str(tmp_path))
+        path = self._entry_path(tmp_path, "k1")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        assert db.get("k1") is None
+        assert db.discards == 1
+        assert not os.path.exists(path)
+
+    @pytest.mark.parametrize("mutate", [
+        lambda d: {**d, "format": 999},          # stale format version
+        lambda d: {**d, "key": "someone-else"},  # key does not echo address
+        lambda d: {**d, "config": {"engine": "gpu"}},  # malformed config
+        lambda d: {**d, "mstencil_s": -1.0},     # non-positive measurement
+        lambda d: {**d, "seconds": "fast"},      # wrong type
+        lambda d: [d],                           # not an object
+    ])
+    def test_stale_entries_discarded(self, tmp_path, mutate):
+        db = TuningDB(str(tmp_path))
+        db.put(make_record("k1"))
+        path = self._entry_path(tmp_path, "k1")
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(mutate(payload), fh)
+        fresh = TuningDB(str(tmp_path))  # bypass the in-memory copy
+        assert fresh.get("k1") is None
+        assert fresh.discards == 1
+        assert not os.path.exists(path)
+
+    def test_clear_removes_disk_entries(self, tmp_path):
+        db = TuningDB(str(tmp_path))
+        db.put(make_record("k1"))
+        db.put(make_record("k2"))
+        assert db.clear() == 2
+        assert db.get("k1") is None
+
+
+class TestTunerEndToEnd:
+    def test_search_then_db_hit_with_zero_trials(self):
+        tuner = fast_tuner()
+        first = tuner.tune(HEAT1D, (256,), steps=2)
+        assert not first.from_db
+        assert len(first.trials) >= 1
+        assert first.best.ok and first.best.mstencil_s > 0
+        assert first.record is not None
+        # the acceptance criterion: an identical workload is a database
+        # hit and runs zero empirical trials
+        second = tuner.tune(HEAT1D, (256,), steps=2)
+        assert second.from_db
+        assert len(second.trials) == 0
+        assert second.best.config == first.best.config
+        assert tuner.db.stats_dict()["hits"] == 1
+
+    def test_baseline_always_gets_a_trial(self):
+        report = fast_tuner().tune(HEAT1D, (256,), steps=2)
+        base = default_config(HEAT1D, MACHINE).as_dict()
+        assert any(t.config.as_dict() == base for t in report.trials)
+
+    def test_force_retunes_over_a_stored_winner(self):
+        tuner = fast_tuner()
+        tuner.tune(HEAT1D, (256,), steps=2)
+        again = tuner.tune(HEAT1D, (256,), steps=2, force=True)
+        assert not again.from_db and len(again.trials) >= 1
+
+    def test_corrupted_db_entry_triggers_retune(self, tmp_path):
+        db = TuningDB(str(tmp_path))
+        tuner = fast_tuner(db=db)
+        report = tuner.tune(HEAT1D, (256,), steps=2)
+        path = os.path.join(str(tmp_path), f"{report.key}.json")
+        assert os.path.exists(path)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("garbage")
+        fresh = fast_tuner(db=TuningDB(str(tmp_path)))
+        redo = fresh.tune(HEAT1D, (256,), steps=2)
+        assert not redo.from_db and len(redo.trials) >= 1
+        assert fresh.db.discards == 1
+        # and the re-tuned winner is stored again, valid on disk
+        assert TuningDB(str(tmp_path)).get(report.key) is not None
+
+    def test_tuned_config_lookup_without_search(self):
+        tuner = fast_tuner()
+        assert tuner.tuned_config(HEAT1D, (256,)) is None
+        report = tuner.tune(HEAT1D, (256,), steps=2)
+        assert tuner.tuned_config(HEAT1D, (256,)) == report.best.config
+
+    def test_boundary_is_part_of_the_workload(self):
+        tuner = fast_tuner()
+        tuner.tune(HEAT1D, (256,), steps=2)
+        assert tuner.tuned_config(HEAT1D, (256,),
+                                  boundary="constant") is None
+
+    def test_rejects_bad_requests(self):
+        tuner = fast_tuner()
+        with pytest.raises(TuneError):
+            tuner.tune(HEAT1D, (256,), steps=0)
+        with pytest.raises(TuneError):
+            tuner.tune(HEAT2D, (64,), steps=2)  # rank mismatch
+
+
+class TestIntegration:
+    def test_planner_applies_tuned_override(self):
+        cfg = TuneConfig(engine="machine", time_fusion=2, use_sdf=False,
+                         exec_backend="interp")
+        p = plan(HEAT1D, MACHINE, tuned=cfg)
+        assert p.time_fusion == 2
+        assert p.use_sdf is False
+        assert p.backend == "interp"
+
+    def test_compile_kernel_applies_tuned_override(self):
+        from repro.core import compile_kernel
+        from repro.stencils.grid import Grid
+        cfg = TuneConfig(engine="numpy", time_fusion=1, use_sdf=False)
+        grid = Grid((256,), 16)
+        kernel = compile_kernel(HEAT1D, MACHINE, grid, cache=False,
+                                tuned=cfg)
+        assert kernel.plan.time_fusion == 1
+        assert kernel.plan.use_sdf is False
+
+    def test_service_compile_many_tunes_and_reuses(self):
+        from repro.service import CompileRequest, KernelService
+        svc = KernelService(MACHINE, tune_budget=FAST)
+        reqs = [CompileRequest(HEAT1D, (256,))]
+        kernels = svc.compile_many(reqs, tune=True)
+        assert len(kernels) == 1
+        stats = svc.stats()
+        assert stats["tuning_entries"] == 1
+        assert stats["tuning_misses"] >= 1
+        # the second batch is a pure database hit: no new trials, and the
+        # tuned plan matches the stored winner
+        svc.compile_many(reqs, tune=True)
+        stats2 = svc.stats()
+        assert stats2["tuning_hits"] >= 1
+        assert stats2["tuning_entries"] == 1
+        winner = svc.tuning_db.lookup(HEAT1D, MACHINE, (256,))
+        assert winner is not None
+        if winner.config.is_plan_aware:
+            k = kernels[0]
+            assert k.plan.time_fusion == winner.config.time_fusion
+            assert k.plan.use_sdf == winner.config.use_sdf
+
+    def test_service_untuned_compile_unchanged(self):
+        from repro.service import CompileRequest, KernelService
+        svc = KernelService(MACHINE)
+        k, = svc.compile_many([CompileRequest(HEAT1D, (256,))])
+        assert k.plan.time_fusion == auto_fusion(HEAT1D, MACHINE)
+        assert svc.stats()["tuning_entries"] == 0
