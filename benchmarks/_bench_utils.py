@@ -1,6 +1,10 @@
 """Importable benchmark helpers (kept out of conftest so tests/ and
 benchmarks/ can be collected in one pytest invocation)."""
 
+from contextlib import contextmanager
+
+from repro import obs
+
 
 def emit(title: str, body: str) -> None:
     """Print a labelled experiment artifact (visible with -s and captured
@@ -8,3 +12,27 @@ def emit(title: str, body: str) -> None:
     bar = "=" * max(8, 72 - len(title))
     print(f"\n==== {title} {bar}")
     print(body)
+
+
+@contextmanager
+def observed():
+    """Record spans + metrics for the enclosed block (restoring the
+    prior observability state afterwards)."""
+    was_enabled = obs.enabled()
+    obs.enable(reset=True)
+    try:
+        yield
+    finally:
+        if not was_enabled:
+            obs.disable()
+
+
+def attach_stages(data: dict) -> dict:
+    """Fold the current observability snapshot into a benchmark artifact
+    as its ``stages`` section — the per-stage breakdown (span trees +
+    metrics) every ``BENCH_*.json`` carries next to its headline numbers.
+    A no-op (and no key) when nothing was recorded."""
+    snap = obs.snapshot()
+    if snap["spans"] or any(snap["metrics"].values()):
+        data["stages"] = snap
+    return data

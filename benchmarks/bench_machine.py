@@ -28,7 +28,7 @@ import numpy as np
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-from _bench_utils import emit  # noqa: E402
+from _bench_utils import attach_stages, emit, observed  # noqa: E402
 
 from repro.config import GENERIC_AVX2  # noqa: E402
 from repro.schemes import generate, scheme_halo  # noqa: E402
@@ -38,6 +38,11 @@ from repro.vectorize.driver import run_program  # noqa: E402
 
 SHAPE = (512, 512)
 SPEEDUP_FLOOR = 10.0
+
+#: traced execution must stay within this factor of untraced wall-clock
+#: (the observability contract: near-zero overhead when enabled, zero
+#: when disabled)
+TRACE_OVERHEAD_CEILING = 1.05
 
 
 def _artifact_path() -> str:
@@ -66,9 +71,27 @@ def measure() -> dict:
     batch_t, batch_grid = _time_sweep(program, grid, "batch", repeats=3)
     interp_t, interp_grid = _time_sweep(program, grid, "interp", repeats=1)
 
+    # the observability overhead gate: the same batch sweep with spans +
+    # metrics recording on must be bitwise identical and within
+    # TRACE_OVERHEAD_CEILING of the untraced best (best-of-N on both
+    # sides keeps scheduler noise out of the ratio)
+    untraced_t, _ = _time_sweep(program, grid, "batch", repeats=5)
+    with observed():
+        traced_t, traced_grid = _time_sweep(program, grid, "batch",
+                                            repeats=5)
+        stages = {}
+        attach_stages(stages)
+    traced_identical = bool(np.array_equal(traced_grid.data,
+                                           batch_grid.data))
+
     identical = bool(np.array_equal(batch_grid.data, interp_grid.data))
     points = grid.npoints()
-    return {
+    data = {
+        "traced_seconds": traced_t,
+        "untraced_seconds": untraced_t,
+        "trace_overhead": traced_t / untraced_t,
+        "trace_overhead_ceiling": TRACE_OVERHEAD_CEILING,
+        "traced_bitwise_identical": traced_identical,
         "kernel": spec.name,
         "scheme": "jigsaw",
         "machine": GENERIC_AVX2.name,
@@ -82,6 +105,8 @@ def measure() -> dict:
         "speedup_floor": SPEEDUP_FLOOR,
         "bitwise_identical": identical,
     }
+    data.update(stages)  # the per-stage span/metric breakdown, if any
+    return data
 
 
 def _load_history(path: str) -> list:
@@ -119,14 +144,27 @@ def _report(data: dict) -> None:
             f"speedup         {data['speedup']:.1f}x "
             f"(floor {data['speedup_floor']:.0f}x)",
             f"bitwise         {data['bitwise_identical']}",
+            f"traced overhead {data['trace_overhead']:.3f}x "
+            f"(ceiling {data['trace_overhead_ceiling']:.2f}x)",
             f"artifact        {path}",
         ]),
     )
 
 
+_DATA = None
+
+
+def _measured() -> dict:
+    """Measure once per process; both gates share one artifact entry."""
+    global _DATA
+    if _DATA is None:
+        _DATA = measure()
+        _report(_DATA)
+    return _DATA
+
+
 def test_batch_backend_speedup():
-    data = measure()
-    _report(data)
+    data = _measured()
     assert data["bitwise_identical"], (
         "batch backend diverged bitwise from the interpreter"
     )
@@ -136,6 +174,22 @@ def test_batch_backend_speedup():
     )
 
 
+def test_trace_overhead_within_ceiling():
+    """The observability contract: recording spans + metrics must not
+    change results bitwise and must stay within 5% of untraced
+    wall-clock on the same backend."""
+    data = _measured()
+    assert data["traced_bitwise_identical"], (
+        "tracing changed the executed results bitwise"
+    )
+    assert data["trace_overhead"] <= data["trace_overhead_ceiling"], (
+        f"traced run {data['trace_overhead']:.3f}x the untraced best, "
+        f"over the {data['trace_overhead_ceiling']:.2f}x ceiling"
+    )
+    assert data.get("stages"), "profiled run recorded no stage breakdown"
+
+
 if __name__ == "__main__":
     test_batch_backend_speedup()
+    test_trace_overhead_within_ceiling()
     print("ok")

@@ -26,7 +26,7 @@ import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-from _bench_utils import emit  # noqa: E402
+from _bench_utils import attach_stages, emit, observed  # noqa: E402
 
 from repro.config import GENERIC_AVX2  # noqa: E402
 from repro.stencils import library  # noqa: E402
@@ -55,7 +55,10 @@ def measure() -> list:
     results = []
     for name, shape in WORKLOADS:
         spec = library.get(name)
-        report = tuner.tune(spec, shape, steps=2)
+        with observed():
+            report = tuner.tune(spec, shape, steps=2)
+            stages = {}
+            attach_stages(stages)
         default_key = default_config(spec, machine).as_dict()
         baseline = next(t for t in report.trials
                         if t.config.as_dict() == default_key)
@@ -71,6 +74,7 @@ def measure() -> list:
             "ratio": report.best.mstencil_s / baseline.mstencil_s,
             "trials": len(report.trials),
             "candidates": report.candidates,
+            **stages,  # per-stage span/metric breakdown of the search
         })
     return results
 

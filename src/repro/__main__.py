@@ -10,6 +10,10 @@ Subcommands::
                                  (persistent winner DB; --model-only for
                                  the analytic blocking tuner)
     run KERNEL ...               execute a kernel and time it
+                                 (--profile prints the span tree +
+                                 metrics snapshot of the whole pipeline)
+    stats [--json]               persisted cache/tuning counters +
+                                 the current observability snapshot
     cache stats|clear            inspect / wipe the kernel compile cache
     experiments [ID ...]         regenerate paper tables/figures
 """
@@ -17,9 +21,11 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from . import obs
 from .analysis.report import render_dict, render_table
 from .config import PAPER_MACHINES, get_machine
 from .errors import ReproError
@@ -202,7 +208,38 @@ def _report_run(spec, size, steps: int, dt: float, engine: str,
           f"in {dt:.3f}s ({rate:.1f} MStencil/s, {engine}, {detail})")
 
 
+def _emit_profile(args) -> None:
+    """Print the span tree and the metrics snapshot recorded during a
+    ``--profile`` run; optionally persist the full snapshot as JSON."""
+    snap = obs.snapshot()
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(snap, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.profile:
+        print("\n-- profile: span tree " + "-" * 40)
+        print(obs.render())
+        print("\n-- profile: metrics " + "-" * 42)
+        print(json.dumps(snap["metrics"], indent=2, sort_keys=True))
+        if args.metrics_json:
+            print(f"\nmetrics written to {args.metrics_json}")
+
+
 def cmd_run(args) -> int:
+    if args.profile or args.metrics_json:
+        obs.enable(reset=True)
+    try:
+        with obs.span("repro.run", kernel=args.kernel,
+                      machine=args.machine):
+            code = _cmd_run_inner(args)
+    finally:
+        if obs.enabled():
+            _emit_profile(args)
+            obs.disable()
+    return code
+
+
+def _cmd_run_inner(args) -> int:
     import numpy as np
 
     from .core import compile_kernel, configure_default_cache
@@ -301,17 +338,10 @@ def cmd_cache(args) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached kernel(s) from {cache_dir}")
         return 0
-    # stats: persisted cumulative counters + current disk occupancy
-    import json
-    import os
-    totals = {}
-    stats_path = os.path.join(cache_dir, "_stats.json")
-    if os.path.exists(stats_path):
-        try:
-            with open(stats_path, "r", encoding="utf-8") as fh:
-                totals = json.load(fh)
-        except (OSError, ValueError):
-            totals = {}
+    # stats: persisted cumulative counters (every writer's delta files
+    # merged, so concurrent processes all show up) + disk occupancy
+    from .core.cache import persisted_totals
+    totals = persisted_totals(cache_dir)
     count, size = cache.disk_entries()
     print(render_dict(f"kernel cache @ {cache_dir}", {
         "entries": count,
@@ -323,6 +353,38 @@ def cmd_cache(args) -> int:
         "disk discards": totals.get("disk_discards", 0),
         "evictions": totals.get("evictions", 0),
     }))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Persisted cache/tuning counters plus the in-process observability
+    snapshot (spans + metrics recorded since the last reset)."""
+    from .core.cache import KernelCache, default_cache_dir, persisted_totals
+    from .tune import TuningDB, default_tuning_dir
+    cache_dir = args.cache_dir or default_cache_dir()
+    db_dir = args.db_dir or default_tuning_dir()
+    cache = KernelCache(cache_dir)
+    count, size = cache.disk_entries()
+    cache_stats = dict(persisted_totals(cache_dir))
+    cache_stats["disk_entry_count"] = count
+    cache_stats["disk_entry_bytes"] = size
+    tuning_stats = TuningDB(db_dir).stats_dict()
+    if args.json:
+        print(json.dumps({
+            "cache_dir": cache_dir,
+            "cache": cache_stats,
+            "tuning_dir": db_dir,
+            "tuning": tuning_stats,
+            "obs": obs.snapshot(),
+        }, indent=2, sort_keys=True))
+        return 0
+    print(render_dict(f"kernel cache @ {cache_dir}", cache_stats or
+                      {"(no persisted counters)": ""}))
+    print(render_dict(f"tuning db @ {db_dir}", tuning_stats))
+    snap = obs.snapshot()
+    if snap["spans"] or any(snap["metrics"].values()):
+        print("\nobservability snapshot:")
+        print(json.dumps(snap["metrics"], indent=2, sort_keys=True))
     return 0
 
 
@@ -438,8 +500,29 @@ def build_parser() -> argparse.ArgumentParser:
                         "$REPRO_TUNING_DIR or <cache>/tuning)")
     p.add_argument("--cache-dir", default=None,
                    help="persist compiled kernels to this directory")
+    p.add_argument("--profile", action="store_true",
+                   help="record spans + metrics across the whole "
+                        "plan/SDF/codegen/execute pipeline and print the "
+                        "span tree and metrics snapshot")
+    p.add_argument("--metrics-json", default=None, metavar="PATH",
+                   help="write the observability snapshot (spans + "
+                        "metrics) to PATH as JSON (implies recording)")
     _add_machine_arg(p)
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "stats",
+        description="Persisted cache/tuning counters and the current "
+                    "observability snapshot.")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.add_argument("--cache-dir", default=None,
+                   help="kernel cache directory (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro/kernels)")
+    p.add_argument("--db-dir", default=None,
+                   help="tuning database directory (default: "
+                        "$REPRO_TUNING_DIR or <cache>/tuning)")
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("cache")
     cache_sub = p.add_subparsers(dest="cache_cmd", required=True)

@@ -19,21 +19,37 @@ produces a different key):
   :mod:`repro.machine.serialize` format).  Corrupted or stale disk
   entries are discarded and recompiled, never trusted.
 
-Hit/miss/evict counters are exposed through :class:`CacheStats` and, for
-disk-backed caches, persisted to ``_stats.json`` so ``repro cache stats``
-can report across processes.
+Concurrency: the cache is fully thread-safe, and concurrent misses for
+the *same* key are collapsed through per-key in-flight locks — the first
+caller compiles, every waiter reuses the result (a service and a tuner
+sharing one cache no longer run the same compile twice).
+
+Hit/miss/evict counters are exposed through :class:`CacheStats`.  For
+disk-backed caches every writer persists its *own* session counters to a
+``_stats-<writer>.json`` delta file under the atomic-rename discipline;
+:func:`persisted_totals` merges the legacy ``_stats.json`` base with all
+delta files, so concurrent processes sharing a cache directory never
+overwrite each other's counts (the old base+session scheme was
+last-writer-wins).  With observability enabled (:mod:`repro.obs`), cache
+operations additionally record spans (``cache.plan``, ``cache.program``,
+``cache.disk_load``, ``cache.disk_store``) and hit/miss latency
+histograms.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import threading
+import time
+import uuid
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple, Union
 
+from .. import obs
 from ..config import MachineConfig
 from ..machine.serialize import (
     machine_to_dict,
@@ -52,8 +68,11 @@ from .planner import JigsawPlan, plan as build_plan
 #: bump when the on-disk entry layout changes; older entries are discarded.
 ENTRY_FORMAT = 1
 
-#: persisted cumulative counters, one file per cache directory.
+#: legacy/compacted cumulative counters, one file per cache directory.
 STATS_FILE = "_stats.json"
+
+#: per-writer session-counter delta files (see :func:`persisted_totals`).
+STATS_DELTA_PREFIX = "_stats-"
 
 
 def default_cache_dir() -> str:
@@ -153,6 +172,41 @@ class CacheStats:
             setattr(self, name, 0)
 
 
+def _is_stats_delta(name: str) -> bool:
+    return name.startswith(STATS_DELTA_PREFIX) and name.endswith(".json")
+
+
+def _is_stats_name(name: str) -> bool:
+    return name == STATS_FILE or _is_stats_delta(name)
+
+
+def persisted_totals(cache_dir: str) -> Dict[str, int]:
+    """Cumulative counters for a cache directory: the ``_stats.json``
+    base (legacy single-writer totals, kept as a compaction target) plus
+    every per-writer ``_stats-*.json`` delta file.  Safe with live
+    writers — each delta is rewritten atomically by its owning writer
+    only, so the merge never observes torn or double-counted data."""
+    sources = []
+    base = read_json(os.path.join(cache_dir, STATS_FILE))
+    if isinstance(base, dict):
+        sources.append(base)
+    try:
+        names = sorted(os.listdir(cache_dir))
+    except OSError:
+        names = []
+    for name in names:
+        if _is_stats_delta(name):
+            delta = read_json(os.path.join(cache_dir, name))
+            if isinstance(delta, dict):
+                sources.append(delta)
+    totals: Dict[str, int] = {}
+    for src in sources:
+        for k, v in src.items():
+            if isinstance(v, (int, float)):
+                totals[k] = totals.get(k, 0) + int(v)
+    return totals
+
+
 class KernelCache:
     """Memoizes the Jigsaw compile pipeline (see module docstring).
 
@@ -170,11 +224,26 @@ class KernelCache:
         self._lock = threading.RLock()
         self._plans: "OrderedDict[str, JigsawPlan]" = OrderedDict()
         self._programs: "OrderedDict[str, VectorProgram]" = OrderedDict()
-        self._disk_base: Dict[str, int] = {}
+        #: per-key in-flight locks collapsing concurrent same-key misses
+        self._inflight: Dict[str, threading.Lock] = {}
+        #: this instance's stats delta file name (pid + random so writer
+        #: identities never collide, even across pid reuse)
+        self._writer_name = (
+            f"{STATS_DELTA_PREFIX}{os.getpid()}-{uuid.uuid4().hex[:8]}.json")
         if cache_dir is not None:
             os.makedirs(cache_dir, exist_ok=True)
-            self._disk_base = _read_json(
-                os.path.join(cache_dir, STATS_FILE)) or {}
+
+    # -- in-flight dedup -------------------------------------------------------
+    def _key_lock(self, key: str) -> threading.Lock:
+        with self._lock:
+            lock = self._inflight.get(key)
+            if lock is None:
+                lock = self._inflight[key] = threading.Lock()
+            return lock
+
+    def _drop_key_lock(self, key: str) -> None:
+        with self._lock:
+            self._inflight.pop(key, None)
 
     # -- plans -----------------------------------------------------------------
     def plan(self, spec: StencilSpec, machine: MachineConfig, *,
@@ -183,52 +252,91 @@ class KernelCache:
         """Memoized :func:`repro.core.planner.plan`."""
         key = plan_key(spec, machine, time_fusion=time_fusion,
                        use_sdf=use_sdf, backend=backend)
+        t0 = time.perf_counter()
+        with obs.span("cache.plan", kernel=spec.name):
+            cached = self._plan_hit(key)
+            if cached is not None:
+                self._observe("cache.plan.hit", t0)
+                return cached
+            lock = self._key_lock("plan:" + key)
+            try:
+                with lock:
+                    cached = self._plan_hit(key)
+                    if cached is not None:  # a waiter reuses the leader's plan
+                        self._observe("cache.plan.hit", t0)
+                        return cached
+                    built = build_plan(spec, machine, time_fusion=time_fusion,
+                                       use_sdf=use_sdf, backend=backend)
+                    with self._lock:
+                        self.stats.plan_misses += 1
+                        self._plans[key] = built
+                        while len(self._plans) > self.max_entries:
+                            self._plans.popitem(last=False)
+            finally:
+                self._drop_key_lock("plan:" + key)
+            self._observe("cache.plan.miss", t0)
+            return built
+
+    def _plan_hit(self, key: str) -> Optional[JigsawPlan]:
         with self._lock:
             cached = self._plans.get(key)
             if cached is not None:
                 self._plans.move_to_end(key)
                 self.stats.plan_hits += 1
-                return cached
-        built = build_plan(spec, machine, time_fusion=time_fusion,
-                           use_sdf=use_sdf, backend=backend)
-        with self._lock:
-            self.stats.plan_misses += 1
-            self._plans[key] = built
-            while len(self._plans) > self.max_entries:
-                self._plans.popitem(last=False)
-        return built
+            return cached
 
     # -- programs --------------------------------------------------------------
     def program(self, plan: JigsawPlan, grid: Grid) -> VectorProgram:
         """The generated vector program for ``plan`` on ``grid``'s
-        geometry — from memory, then disk, then a fresh compile."""
+        geometry — from memory, then disk, then a fresh compile.
+        Concurrent misses for one key compile once (the in-flight lock);
+        every waiter gets the leader's program and counts as a hit."""
         key = program_key(plan, grid)
+        t0 = time.perf_counter()
+        with obs.span("cache.program", kernel=plan.spec.name):
+            cached = self._program_hit(key)
+            if cached is not None:
+                self._observe("cache.program.hit", t0)
+                return cached
+            lock = self._key_lock("prog:" + key)
+            try:
+                with lock:
+                    cached = self._program_hit(key)
+                    if cached is not None:
+                        self._observe("cache.program.hit", t0)
+                        return cached
+                    loaded = self._load_entry(key, plan, grid)
+                    if loaded is not None:
+                        with self._lock:
+                            self.stats.hits += 1
+                            self.stats.disk_hits += 1
+                            self._remember(key, loaded)
+                        self._persist_stats()
+                        self._observe("cache.program.hit", t0)
+                        return loaded
+                    program = generate_jigsaw(
+                        plan.spec, plan.machine, grid,
+                        time_fusion=plan.time_fusion,
+                        terms=plan.terms,
+                        scheme=plan.scheme,
+                    )
+                    with self._lock:
+                        self.stats.misses += 1
+                        self._remember(key, program)
+                    self._store_entry(key, plan, grid, program)
+                    self._persist_stats()
+            finally:
+                self._drop_key_lock("prog:" + key)
+            self._observe("cache.program.miss", t0)
+            return program
+
+    def _program_hit(self, key: str) -> Optional[VectorProgram]:
         with self._lock:
             cached = self._programs.get(key)
             if cached is not None:
                 self._programs.move_to_end(key)
                 self.stats.hits += 1
-                return cached
-        loaded = self._load_entry(key, plan, grid)
-        if loaded is not None:
-            with self._lock:
-                self.stats.hits += 1
-                self.stats.disk_hits += 1
-                self._remember(key, loaded)
-            self._persist_stats()
-            return loaded
-        program = generate_jigsaw(
-            plan.spec, plan.machine, grid,
-            time_fusion=plan.time_fusion,
-            terms=plan.terms,
-            scheme=plan.scheme,
-        )
-        with self._lock:
-            self.stats.misses += 1
-            self._remember(key, program)
-        self._store_entry(key, plan, grid, program)
-        self._persist_stats()
-        return program
+            return cached
 
     def compile(self, spec: StencilSpec, machine: MachineConfig, grid: Grid,
                 *, time_fusion: Union[int, str] = "auto",
@@ -245,6 +353,16 @@ class KernelCache:
             self._programs.popitem(last=False)
             self.stats.evictions += 1
 
+    @staticmethod
+    def _observe(event: str, t0: float) -> None:
+        """Record one cache event (``cache.program.hit`` etc.) as a
+        counter plus a latency histogram — only when observability is on."""
+        if obs.enabled():
+            plural = "es" if event.endswith("miss") else "s"
+            obs.counter(event + plural).inc()
+            obs.histogram(event + "_ms").observe(
+                (time.perf_counter() - t0) * 1e3)
+
     # -- disk persistence ------------------------------------------------------
     def _entry_path(self, key: str) -> Optional[str]:
         if self.cache_dir is None:
@@ -256,29 +374,31 @@ class KernelCache:
         path = self._entry_path(key)
         if path is None or not os.path.exists(path):
             return None
-        entry = _read_json(path)
-        try:
-            if (not isinstance(entry, dict)
-                    or entry.get("format") != ENTRY_FORMAT
-                    or entry.get("key") != key):
-                raise ValueError("malformed or stale cache entry")
-            program = program_from_dict(entry["program"])
-            if (program.width != plan.machine.vector_elems
-                    or program.elem_bytes != plan.machine.element_bytes):
-                raise ValueError("entry lowered for a different machine")
-            check_program_grid(program, grid)
-        except Exception:
-            # Anything wrong with a disk entry — unreadable JSON, an
-            # unknown opcode, a geometry mismatch — means recompile, not
-            # crash.  Drop the bad file so it is rebuilt cleanly.
-            with self._lock:
-                self.stats.disk_discards += 1
+        with obs.span("cache.disk_load", key=key[:12]):
+            entry = _read_json(path)
             try:
-                os.remove(path)
-            except OSError:
-                pass
-            return None
-        return program
+                if (not isinstance(entry, dict)
+                        or entry.get("format") != ENTRY_FORMAT
+                        or entry.get("key") != key):
+                    raise ValueError("malformed or stale cache entry")
+                program = program_from_dict(entry["program"])
+                if (program.width != plan.machine.vector_elems
+                        or program.elem_bytes != plan.machine.element_bytes):
+                    raise ValueError("entry lowered for a different machine")
+                check_program_grid(program, grid)
+            except Exception:
+                # Anything wrong with a disk entry — unreadable JSON, an
+                # unknown opcode, a geometry mismatch — means recompile, not
+                # crash.  Drop the bad file so it is rebuilt cleanly.
+                with self._lock:
+                    self.stats.disk_discards += 1
+                obs.counter("cache.disk_discards").inc()
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                return None
+            return program
 
     def _store_entry(self, key: str, plan: JigsawPlan, grid: Grid,
                      program: VectorProgram) -> None:
@@ -295,40 +415,55 @@ class KernelCache:
             "terms": [term_to_dict(t) for t in plan.terms],
             "program": program_to_dict(program),
         }
-        try:
-            _write_json_atomic(path, entry)
-        except OSError:
-            return  # a read-only cache dir degrades to memory-only
+        with obs.span("cache.disk_store", key=key[:12]):
+            try:
+                _write_json_atomic(path, entry)
+            except OSError:
+                return  # a read-only cache dir degrades to memory-only
         with self._lock:
             self.stats.disk_writes += 1
 
     def _persist_stats(self) -> None:
+        """Write this writer's session counters to its own delta file.
+        No read-modify-write, no base+session arithmetic: concurrent
+        writers each own one file, and :func:`persisted_totals` merges."""
         if self.cache_dir is None:
             return
         with self._lock:
-            totals = {
-                k: self._disk_base.get(k, 0) + v
-                for k, v in self.stats.as_dict().items()
-            }
+            session = self.stats.as_dict()
         try:
-            _write_json_atomic(os.path.join(self.cache_dir, STATS_FILE),
-                               totals)
+            _write_json_atomic(
+                os.path.join(self.cache_dir, self._writer_name), session)
         except OSError:
             pass
 
     # -- maintenance -----------------------------------------------------------
     def clear(self, *, disk: bool = True) -> int:
-        """Drop every cached object; returns the number of disk entries
-        removed."""
+        """Drop every cached object *and every counter*; returns the
+        number of disk entries removed.  Persisted stats files (base and
+        all writer deltas) are deleted too, so ``repro cache stats``
+        after a clear reports a genuinely empty cache instead of
+        cumulative counters from deleted state."""
         removed = 0
         with self._lock:
             self._plans.clear()
             self._programs.clear()
+            self.stats.reset()
         if disk and self.cache_dir is not None:
-            for name in os.listdir(self.cache_dir):
-                if name.endswith(".json") and name != STATS_FILE:
+            try:
+                names = os.listdir(self.cache_dir)
+            except OSError:
+                names = []
+            for name in names:
+                path = os.path.join(self.cache_dir, name)
+                if _is_stats_name(name):
                     try:
-                        os.remove(os.path.join(self.cache_dir, name))
+                        os.remove(path)
+                    except OSError:
+                        pass
+                elif name.endswith(".json"):
+                    try:
+                        os.remove(path)
                         removed += 1
                     except OSError:
                         pass
@@ -340,7 +475,7 @@ class KernelCache:
             return 0, 0
         count = size = 0
         for name in os.listdir(self.cache_dir):
-            if name.endswith(".json") and name != STATS_FILE:
+            if name.endswith(".json") and not _is_stats_name(name):
                 count += 1
                 try:
                     size += os.path.getsize(os.path.join(self.cache_dir, name))
@@ -349,11 +484,14 @@ class KernelCache:
         return count, size
 
     def stats_dict(self) -> Dict[str, int]:
-        """Session counters plus disk occupancy, for the stats API/CLI."""
-        out = dict(self.stats.as_dict())
+        """Session counters plus disk occupancy, for the stats API/CLI.
+        The counter snapshot is taken under the cache lock so it is
+        internally consistent (no torn hit/miss pairs)."""
+        with self._lock:
+            out = dict(self.stats.as_dict())
+            out["memory_programs"] = len(self._programs)
+            out["memory_plans"] = len(self._plans)
         count, size = self.disk_entries()
-        out["memory_programs"] = len(self._programs)
-        out["memory_plans"] = len(self._plans)
         out["disk_entry_count"] = count
         out["disk_entry_bytes"] = size
         return out
@@ -397,13 +535,29 @@ def read_json(path: str) -> Optional[Any]:
         return None
 
 
+#: distinguishes temp files from concurrent writers within one process —
+#: the pid alone is shared by every thread.
+_tmp_counter = itertools.count()
+
+
 def write_json_atomic(path: str, payload: Any) -> None:
     """Write JSON via a temp file + atomic rename, so a concurrent reader
-    never observes a half-written entry."""
-    tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, sort_keys=True)
-    os.replace(tmp, path)
+    never observes a half-written entry.  The temp name includes the pid,
+    the thread id, and a process-wide monotonic counter: two threads (or
+    two renames racing in one thread) can never interleave writes into a
+    shared temp file."""
+    tmp = (f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+           f".{next(_tmp_counter)}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        os.replace(tmp, path)
+    finally:
+        try:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+        except OSError:
+            pass
 
 
 _read_json = read_json       # backwards-compatible private aliases

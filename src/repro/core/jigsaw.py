@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..config import MachineConfig
 from ..errors import VectorizeError
 from ..stencils.grid import Grid
@@ -166,11 +167,27 @@ def generate_jigsaw(
     LBV-without-SDF ablation.  ``time_fusion=s`` advances ``s`` time steps
     per sweep.
     """
+    with obs.span("codegen", kernel=spec.name, time_fusion=time_fusion):
+        return _generate_jigsaw(spec, machine, grid,
+                                time_fusion=time_fusion, terms=terms,
+                                scheme=scheme)
+
+
+def _generate_jigsaw(
+    spec: StencilSpec,
+    machine: MachineConfig,
+    grid: Grid,
+    *,
+    time_fusion: int = 1,
+    terms: Optional[Sequence[Rank1Term]] = None,
+    scheme: Optional[str] = None,
+) -> VectorProgram:
     width = machine.vector_elems
     block = 2 * width
     fused = merged_spec(spec, time_fusion)
     if terms is None:
-        terms = structured_terms(fused)
+        with obs.span("sdf", kernel=spec.name):
+            terms = structured_terms(fused)
     check_geometry(spec, grid, block=block,
                    halo_needed=required_halo(spec, machine,
                                              time_fusion=time_fusion))

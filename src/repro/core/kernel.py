@@ -16,11 +16,13 @@ with a concrete grid geometry and exposes three things:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
 
+from .. import obs
 from ..config import MachineConfig
 from ..errors import VectorizeError
 from ..machine.perfmodel import KernelCost, PerformanceModel, PerfResult
@@ -116,16 +118,26 @@ class CompiledKernel:
         ndim = grid.ndim
         hx = grid.halo[-1]
         nx = grid.shape[-1]
-        for _ in range(steps // s):
-            fill_halo(cur, boundary, value=value)
-            out = nxt.interior
-            out.fill(0.0)
-            for term in terms:
-                g = self._flatten_numpy(cur, term, rx)
-                for dx, c in term.v.items():
-                    lo = rx + dx
-                    np.add(out, c * g[..., lo:lo + nx], out=out)
-            cur, nxt = nxt, cur
+        observing = obs.enabled()
+        with obs.span("execute", kernel=self.plan.spec.name,
+                      backend="numpy", steps=steps) as espan:
+            for _ in range(steps // s):
+                t0 = time.perf_counter() if observing else 0.0
+                fill_halo(cur, boundary, value=value)
+                out = nxt.interior
+                out.fill(0.0)
+                for term in terms:
+                    g = self._flatten_numpy(cur, term, rx)
+                    for dx, c in term.v.items():
+                        lo = rx + dx
+                        np.add(out, c * g[..., lo:lo + nx], out=out)
+                cur, nxt = nxt, cur
+                if observing:
+                    obs.counter("exec.sweeps").inc()
+                    obs.histogram("exec.sweep_ms").observe(
+                        (time.perf_counter() - t0) * 1e3)
+            if observing:
+                espan.set(engine="numpy")
         return cur
 
     def _flatten_numpy(self, grid: Grid, term, rx: int) -> np.ndarray:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
+from .. import obs
 from ..config import MachineConfig
 from ..errors import PlanError
 from ..stencils.spec import StencilSpec
@@ -53,9 +54,12 @@ class JigsawPlan:
         # plan objects across compiles, making this a process-wide memo.
         cached = getattr(self, "_terms_memo", None)
         if cached is None:
-            fused = self.fused_spec
-            cached = (structured_terms(fused) if self.use_sdf
-                      else rows_as_terms(fused))
+            with obs.span("sdf", kernel=self.spec.name,
+                          use_sdf=self.use_sdf) as s:
+                fused = self.fused_spec
+                cached = (structured_terms(fused) if self.use_sdf
+                          else rows_as_terms(fused))
+                s.set(terms=len(cached))
             object.__setattr__(self, "_terms_memo", cached)
         return cached
 
@@ -111,6 +115,20 @@ def plan(
         time_fusion = getattr(tuned, "time_fusion", time_fusion)
         use_sdf = getattr(tuned, "use_sdf", use_sdf)
         backend = getattr(tuned, "plan_backend", None) or backend
+    with obs.span("plan", kernel=spec.name, time_fusion=time_fusion,
+                  use_sdf=use_sdf):
+        return _plan_checked(spec, machine, time_fusion=time_fusion,
+                             use_sdf=use_sdf, backend=backend)
+
+
+def _plan_checked(
+    spec: StencilSpec,
+    machine: MachineConfig,
+    *,
+    time_fusion: Union[int, str],
+    use_sdf: bool,
+    backend: str,
+) -> JigsawPlan:
     if backend not in ("auto", "batch", "interp"):
         raise PlanError(
             f"unknown execution backend {backend!r}; "

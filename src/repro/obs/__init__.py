@@ -1,0 +1,117 @@
+"""Structured observability: spans, metrics, and a process-wide switch.
+
+The rest of the stack is instrumented against *this module's* functions,
+never against a concrete tracer — so the default state (disabled) costs
+one module-global boolean check per instrumented site and allocates
+nothing:
+
+* :func:`span` returns a shared no-op context manager while disabled;
+* :func:`counter` / :func:`gauge` / :func:`histogram` return a shared
+  inert instrument while disabled;
+* hot loops additionally guard with :func:`enabled` so they skip even
+  the timestamp reads feeding a histogram.
+
+``repro run --profile`` and the benchmarks call :func:`enable` /
+:func:`snapshot`; tests drive :func:`enable(reset=True)` around the code
+under measurement.  Span stages and metric names are catalogued in
+``docs/architecture.md`` (Observability).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Union
+
+from .metrics import (
+    NULL_METRIC,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetric,
+)
+from .tracer import NULL_SPAN, NullSpan, Span, Tracer, propagate
+
+_lock = threading.Lock()
+_enabled = False
+_tracer = Tracer()
+_registry = MetricsRegistry()
+
+
+def enabled() -> bool:
+    """True when spans and metrics are being recorded."""
+    return _enabled
+
+
+def enable(*, reset: bool = True) -> None:
+    """Turn recording on (optionally clearing prior spans/metrics)."""
+    global _enabled
+    with _lock:
+        if reset:
+            _tracer.reset()
+            _registry.reset()
+        _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    with _lock:
+        _enabled = False
+
+
+def reset() -> None:
+    """Drop recorded spans and metrics (the enabled flag is unchanged)."""
+    with _lock:
+        _tracer.reset()
+        _registry.reset()
+
+
+def tracer() -> Tracer:
+    return _tracer
+
+
+def registry() -> MetricsRegistry:
+    return _registry
+
+
+# -- recording front-ends (no-ops while disabled) ------------------------------
+
+def span(name: str, **attrs: Any):
+    """``with obs.span("stage", key=...):`` — a timed nested span, or a
+    shared no-op while disabled."""
+    if not _enabled:
+        return NULL_SPAN
+    return _tracer.span(name, **attrs)
+
+
+def counter(name: str) -> Union[Counter, NullMetric]:
+    return _registry.counter(name) if _enabled else NULL_METRIC
+
+
+def gauge(name: str) -> Union[Gauge, NullMetric]:
+    return _registry.gauge(name) if _enabled else NULL_METRIC
+
+
+def histogram(name: str) -> Union[Histogram, NullMetric]:
+    return _registry.histogram(name) if _enabled else NULL_METRIC
+
+
+# -- export --------------------------------------------------------------------
+
+def snapshot() -> Dict[str, Any]:
+    """Everything recorded so far: span trees plus the metric values."""
+    return {"spans": _tracer.to_list(), "metrics": _registry.snapshot()}
+
+
+def render() -> str:
+    """Human-readable span tree (for ``repro run --profile``)."""
+    return _tracer.render()
+
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullMetric",
+    "NullSpan", "Span", "Tracer",
+    "counter", "disable", "enable", "enabled", "gauge", "histogram",
+    "propagate", "registry", "render", "reset", "snapshot", "span",
+    "tracer",
+]

@@ -1,0 +1,185 @@
+"""Span-based tracing: nested, thread-aware wall-clock timers.
+
+A :class:`Span` is one timed region with a name, free-form attributes,
+and children.  The *current* span is tracked in a
+:class:`contextvars.ContextVar`, so nesting follows lexical ``with``
+scope within a thread and worker threads — which start from an empty
+context — open their own root spans (stamped with the thread name, so a
+compile pool's spans stay attributable).  To make a worker's spans nest
+under the submitting thread's current span instead, wrap the callable
+with :func:`propagate` before handing it to the pool.
+
+The tracer never raises out of instrumentation paths and holds a bounded
+number of finished root spans (oldest dropped first), so leaving tracing
+on for a long-lived service cannot grow memory without bound.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+#: finished root spans retained per tracer; oldest are dropped first.
+MAX_ROOTS = 512
+
+
+class Span:
+    """One timed region.  ``duration_s`` is ``None`` while open."""
+
+    __slots__ = ("name", "attrs", "wall_time", "duration_s", "thread",
+                 "children", "_t0")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.wall_time = time.time()
+        self.duration_s: Optional[float] = None
+        self.thread = threading.current_thread().name
+        self.children: List["Span"] = []
+        self._t0 = time.perf_counter()
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to an open span (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "duration_ms": (None if self.duration_s is None
+                            else self.duration_s * 1e3),
+            "thread": self.thread,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+
+class _SpanScope:
+    """The context manager :meth:`Tracer.span` returns."""
+
+    __slots__ = ("_tracer", "span", "_token", "_parent")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.span = Span(name, attrs)
+
+    def __enter__(self) -> Span:
+        self._parent = self._tracer._current.get()
+        self._token = self._tracer._current.set(self.span)
+        self.span._t0 = time.perf_counter()
+        return self.span
+
+    def __exit__(self, *exc) -> bool:
+        self.span.duration_s = time.perf_counter() - self.span._t0
+        try:
+            self._tracer._current.reset(self._token)
+        except ValueError:
+            # reset from a different context (e.g. a generator resumed on
+            # another thread) — drop the stack entry instead of raising
+            self._tracer._current.set(self._parent)
+        if self._parent is None:
+            self._tracer._add_root(self.span)
+        else:
+            self._parent.children.append(self.span)
+        return False
+
+
+class NullSpan:
+    """No-op stand-in used while observability is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Collects finished root spans (see module docstring)."""
+
+    def __init__(self, max_roots: int = MAX_ROOTS) -> None:
+        self.max_roots = max_roots
+        self._lock = threading.Lock()
+        self._roots: List[Span] = []
+        self._current: "contextvars.ContextVar[Optional[Span]]" = \
+            contextvars.ContextVar("repro_obs_current_span", default=None)
+
+    def span(self, name: str, **attrs: Any) -> _SpanScope:
+        """``with tracer.span("stage", key=value) as s:`` — times the
+        block and files the span under the current span (or as a root)."""
+        return _SpanScope(self, name, attrs)
+
+    def current(self) -> Optional[Span]:
+        return self._current.get()
+
+    def _add_root(self, span: Span) -> None:
+        with self._lock:
+            self._roots.append(span)
+            if len(self._roots) > self.max_roots:
+                del self._roots[:len(self._roots) - self.max_roots]
+
+    def roots(self) -> List[Span]:
+        with self._lock:
+            return list(self._roots)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._roots.clear()
+
+    # -- export ----------------------------------------------------------------
+    def to_list(self) -> List[Dict[str, Any]]:
+        return [s.to_dict() for s in self.roots()]
+
+    def render(self) -> str:
+        """The finished spans as an indented ascii tree with durations."""
+        lines: List[str] = []
+        for root in self.roots():
+            _render_span(root, "", True, lines, top=True)
+        return "\n".join(lines)
+
+
+def _render_span(span: Span, prefix: str, last: bool,
+                 lines: List[str], *, top: bool = False) -> None:
+    dur = ("   ...open" if span.duration_s is None
+           else f"{span.duration_s * 1e3:10.3f} ms")
+    attrs = " ".join(f"{k}={v}" for k, v in span.attrs.items())
+    label = f"{span.name}" + (f"  [{attrs}]" if attrs else "")
+    if top:
+        lines.append(f"{label:<56} {dur}")
+        child_prefix = ""
+    else:
+        branch = "`- " if last else "|- "
+        lines.append(f"{prefix}{branch}{label:<{max(1, 53 - len(prefix))}} {dur}")
+        child_prefix = prefix + ("   " if last else "|  ")
+    for i, child in enumerate(span.children):
+        _render_span(child, child_prefix, i == len(span.children) - 1, lines)
+
+
+def propagate(fn):
+    """Wrap ``fn`` so it runs in the submitting thread's context —
+    spans opened inside nest under the caller's current span even when
+    ``fn`` executes on a pool thread."""
+    ctx = contextvars.copy_context()
+
+    def wrapped(*args, **kwargs):
+        return ctx.run(fn, *args, **kwargs)
+
+    return wrapped
+
+
+__all__ = ["MAX_ROOTS", "NULL_SPAN", "NullSpan", "Span", "Tracer",
+           "propagate"]

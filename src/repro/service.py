@@ -29,10 +29,12 @@ Usage::
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from . import obs
 from .config import MachineConfig
 from .core.cache import KernelCache, plan_key
 from .core.jigsaw import required_halo
@@ -145,16 +147,21 @@ class KernelService:
         ``backend`` overrides the service-wide execution backend for this
         kernel (used by tuned compiles)."""
         backend = backend or self.exec_backend
-        plan = self.cache.plan(spec, self.machine,
-                               time_fusion=time_fusion, use_sdf=use_sdf,
-                               backend=backend)
-        halo = required_halo(spec, self.machine,
-                             time_fusion=plan.time_fusion)
-        grid = Grid(tuple(shape), halo)
-        kernel = CompiledKernel(plan=plan, machine=self.machine, grid=grid,
-                                cache=self.cache,
-                                backend=backend)
-        kernel.program  # force lowering through the cache
+        t0 = time.perf_counter()
+        with obs.span("service.compile", kernel=spec.name):
+            plan = self.cache.plan(spec, self.machine,
+                                   time_fusion=time_fusion, use_sdf=use_sdf,
+                                   backend=backend)
+            halo = required_halo(spec, self.machine,
+                                 time_fusion=plan.time_fusion)
+            grid = Grid(tuple(shape), halo)
+            kernel = CompiledKernel(plan=plan, machine=self.machine,
+                                    grid=grid, cache=self.cache,
+                                    backend=backend)
+            kernel.program  # force lowering through the cache
+        if obs.enabled():
+            obs.histogram("service.compile_ms").observe(
+                (time.perf_counter() - t0) * 1e3)
         return kernel
 
     def compile_many(
@@ -175,20 +182,26 @@ class KernelService:
         execution) only pin plan options, not the executor."""
         reqs = [r if isinstance(r, CompileRequest) else CompileRequest(*r)
                 for r in requests]
-        resolved = [self._resolve(r, tune=tune) for r in reqs]
-        distinct: Dict[Tuple, Tuple[CompileRequest, Dict]] = {}
-        for r, (key, kwargs) in zip(reqs, resolved):
-            distinct.setdefault(key, (r, kwargs))
-        compiled: Dict[Tuple, CompiledKernel] = {}
-        if distinct:
-            workers = min(self.compile_workers, len(distinct))
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    k: pool.submit(self.compile, r.spec, r.shape, **kwargs)
-                    for k, (r, kwargs) in distinct.items()
-                }
-                compiled = {k: f.result() for k, f in futures.items()}
-        return [compiled[key] for key, _ in resolved]
+        with obs.span("service.compile_many", requests=len(reqs)) as s:
+            obs.histogram("service.compile_batch_size").observe(len(reqs))
+            resolved = [self._resolve(r, tune=tune) for r in reqs]
+            distinct: Dict[Tuple, Tuple[CompileRequest, Dict]] = {}
+            for r, (key, kwargs) in zip(reqs, resolved):
+                distinct.setdefault(key, (r, kwargs))
+            s.set(distinct=len(distinct))
+            compiled: Dict[Tuple, CompiledKernel] = {}
+            if distinct:
+                workers = min(self.compile_workers, len(distinct))
+                # obs.propagate keeps pool-thread spans nested under this
+                # compile_many span instead of opening new roots
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    futures = {
+                        k: pool.submit(obs.propagate(self.compile),
+                                       r.spec, r.shape, **kwargs)
+                        for k, (r, kwargs) in distinct.items()
+                    }
+                    compiled = {k: f.result() for k, f in futures.items()}
+            return [compiled[key] for key, _ in resolved]
 
     def _resolve(self, r: CompileRequest, *,
                  tune: bool) -> Tuple[Tuple, Dict]:
@@ -226,21 +239,29 @@ class KernelService:
     # -- execution -------------------------------------------------------------
     def run(self, job: SweepJob) -> Grid:
         """Execute one sweep job on the tiled parallel executor."""
-        return run_parallel(
-            job.spec, job.grid, job.steps,
-            tile_shape=job.tile_shape,
-            workers=self.run_workers,
-            boundary=job.boundary,
-            value=job.value,
-            backend=self.run_backend,
-        )
+        t0 = time.perf_counter()
+        with obs.span("service.run", kernel=job.spec.name, steps=job.steps):
+            result = run_parallel(
+                job.spec, job.grid, job.steps,
+                tile_shape=job.tile_shape,
+                workers=self.run_workers,
+                boundary=job.boundary,
+                value=job.value,
+                backend=self.run_backend,
+            )
+        if obs.enabled():
+            obs.histogram("service.run_ms").observe(
+                (time.perf_counter() - t0) * 1e3)
+        return result
 
     def run_many(self, jobs: Sequence[Union[SweepJob, Tuple]]) -> List[Grid]:
         """Execute a batch of sweep jobs.  Jobs run one after another,
         each internally tiled across the service's workers (a job already
         saturates them; overlapping jobs would just thrash the pool)."""
         jobs = [j if isinstance(j, SweepJob) else SweepJob(*j) for j in jobs]
-        return [self.run(j) for j in jobs]
+        with obs.span("service.run_many", jobs=len(jobs)):
+            obs.histogram("service.run_batch_size").observe(len(jobs))
+            return [self.run(j) for j in jobs]
 
     # -- introspection -----------------------------------------------------------
     def stats(self) -> Dict[str, int]:

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..config import MachineConfig
 from ..core.cache import KernelCache, default_cache
 from ..errors import TuneError
@@ -115,6 +116,7 @@ class Tuner:
         if not force:
             rec = self.db.get(key)
             if rec is not None:
+                obs.counter("tune.db_hits").inc()
                 best = Trial(config=rec.config, seconds=rec.seconds,
                              mstencil_s=rec.mstencil_s, steps=rec.steps,
                              repeats=1)
@@ -124,14 +126,25 @@ class Tuner:
                     from_db=True, record=rec,
                 )
 
+        obs.counter("tune.db_misses").inc()
+        with obs.span("tune", kernel=spec.name,
+                      shape="x".join(map(str, shape))) as tspan:
+            return self._search(spec, shape, steps=steps, budget=budget,
+                                engines=engines,
+                                exec_backends=exec_backends,
+                                boundary=boundary, key=key, tspan=tspan)
+
+    def _search(self, spec, shape, *, steps, budget, engines,
+                exec_backends, boundary, key, tspan) -> TuneReport:
         space = enumerate_space(spec, self.machine, shape,
                                 engines=engines,
                                 exec_backends=exec_backends)
         if not space:
             raise TuneError(
                 f"no legal configuration for {spec.name} over {shape}")
-        ranked = rank_candidates(spec, self.machine, space, shape,
-                                 steps=steps, cache=self.cache)
+        with obs.span("tune.rank", candidates=len(space)):
+            ranked = rank_candidates(spec, self.machine, space, shape,
+                                     steps=steps, cache=self.cache)
         if not ranked:
             raise TuneError(
                 f"the analytic model rejected every configuration for "
@@ -149,10 +162,15 @@ class Tuner:
             if deadline is not None and time.perf_counter() > deadline:
                 stopped = "budget"
                 break
-            trial = measure(spec, self.machine, cfg, shape, steps=steps,
-                            budget=budget, cache=self.cache,
-                            boundary=boundary, model_score=score,
-                            deadline=deadline)
+            with obs.span("tune.trial", config=cfg.label()) as span:
+                trial = measure(spec, self.machine, cfg, shape, steps=steps,
+                                budget=budget, cache=self.cache,
+                                boundary=boundary, model_score=score,
+                                deadline=deadline)
+                span.set(ok=trial.ok, mstencil_s=round(trial.mstencil_s, 3))
+            obs.counter("tune.trials").inc()
+            if obs.enabled() and trial.ok:
+                obs.histogram("tune.trial_ms").observe(trial.seconds * 1e3)
             trials.append(trial)
             if trial.ok and (best is None
                              or trial.mstencil_s > best.mstencil_s):
@@ -176,6 +194,8 @@ class Tuner:
             budget=budget.as_dict(),
         )
         self.db.put(record)
+        tspan.set(trials=len(trials), stopped=stopped,
+                  winner=best.config.label())
         return TuneReport(
             spec_name=spec.name, machine_name=self.machine.name,
             shape=shape, steps=steps, key=key, best=best,

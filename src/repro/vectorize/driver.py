@@ -10,10 +10,12 @@ periodic boundaries (see DESIGN.md §7).
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..errors import VectorizeError
 from ..machine.batch import BatchFallback, analytic_trace, get_batched
 from ..machine.machine import SimdMachine
@@ -100,11 +102,15 @@ def run_program(
     if steps == 0:
         return grid.copy()
     batched = None
-    if backend != "interp" and mem_hook is None:
-        try:
-            batched = get_batched(program)
-        except BatchFallback:
-            batched = None
+    if backend != "interp":
+        if mem_hook is not None:
+            # per-access hooks need ordered accesses; a gather has none
+            _count_fallback("mem_hook")
+        else:
+            try:
+                batched = get_batched(program)
+            except BatchFallback:
+                _count_fallback("compile")
     machine = None
     nx = grid.shape[-1]
     covered = program.x_loop.trip_count * program.block
@@ -113,27 +119,47 @@ def run_program(
     nxt = grid.like()
     scratch = (np.empty_like(nxt.interior[..., covered:nx]) if tail
                else None)
-    for _ in range(steps // s):
-        fill_halo(cur, boundary, value=value)
-        arrays = {program.input_array: cur.data,
-                  program.output_array: nxt.data}
-        if batched is not None:
-            try:
-                batched.run(arrays)
-                if counter is not None:
-                    analytic_trace(program, counter)
-            except BatchFallback:
-                batched = None  # e.g. a true recurrence; stay on interp
-        if batched is None:
-            if machine is None:
-                machine = SimdMachine(program.width,
-                                      elem_bytes=program.elem_bytes,
-                                      mem_hook=mem_hook)
-            machine.run(program, arrays, counter=counter)
-        if tail:
-            _apply_tail(program.tail_spec, cur, nxt, covered, scratch)
-        cur, nxt = nxt, cur
+    observing = obs.enabled()
+    with obs.span("execute", kernel=program.name, backend=backend,
+                  steps=steps) as espan:
+        for _ in range(steps // s):
+            t0 = time.perf_counter() if observing else 0.0
+            fill_halo(cur, boundary, value=value)
+            arrays = {program.input_array: cur.data,
+                      program.output_array: nxt.data}
+            if batched is not None:
+                try:
+                    batched.run(arrays)
+                    if counter is not None:
+                        analytic_trace(program, counter)
+                except BatchFallback:
+                    batched = None  # a true recurrence; stay on interp
+                    _count_fallback("recurrence")
+            if batched is None:
+                if machine is None:
+                    machine = SimdMachine(program.width,
+                                          elem_bytes=program.elem_bytes,
+                                          mem_hook=mem_hook)
+                machine.run(program, arrays, counter=counter)
+            if tail:
+                _apply_tail(program.tail_spec, cur, nxt, covered, scratch)
+            cur, nxt = nxt, cur
+            if observing:
+                obs.counter("exec.sweeps").inc()
+                obs.histogram("exec.sweep_ms").observe(
+                    (time.perf_counter() - t0) * 1e3)
+        if observing:
+            espan.set(engine="batch" if batched is not None else "interp")
     return cur
+
+
+def _count_fallback(reason: str) -> None:
+    """Tally one batch->interpreter fallback under its reason.  The
+    taxonomy (``mem_hook`` | ``compile`` | ``recurrence``) is documented
+    in docs/architecture.md; silent fallbacks were invisible before."""
+    if obs.enabled():
+        obs.counter("exec.batch_fallback").inc()
+        obs.counter(f"exec.batch_fallback.reason.{reason}").inc()
 
 
 def _apply_tail(spec, cur: Grid, nxt: Grid, covered: int,

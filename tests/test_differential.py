@@ -10,7 +10,9 @@ same sums, so bitwise equality is only expected up to rounding).  Every
 case additionally runs on the batched execution backend
 (:mod:`repro.machine.batch`), which must match the interpreter
 **bitwise** — both backends execute the same instruction stream, so no
-rounding slack is allowed between them.
+rounding slack is allowed between them.  A separate axis re-runs cases
+with observability recording enabled (:mod:`repro.obs`) and asserts that
+tracing never perturbs either backend's output bitwise.
 
 The example budget is controlled by ``REPRO_DIFF_EXAMPLES`` (per test
 function; each example exercises all three schemes).  The local default
@@ -27,6 +29,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro import obs
 from repro.config import GENERIC_AVX2, GENERIC_AVX2_F32
 from repro.schemes import generate, scheme_halo
 from repro.stencils import apply_steps
@@ -171,6 +174,37 @@ def test_backends_agree_on_tail_strip():
     interp = run_program(program, grid, 2, backend="interp")
     batch = run_program(program, grid, 2, backend="batch")
     assert np.array_equal(batch.data, interp.data)
+
+
+@DIFF_SETTINGS
+@given(spec=random_specs, steps=st.integers(min_value=1, max_value=3),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_tracing_never_changes_results(spec, steps, seed):
+    """The observability axis: with span + metric recording enabled, both
+    execution backends must reproduce their untraced output **bitwise**
+    (instrumentation reads clocks and bumps counters; it must never touch
+    the numerics)."""
+    machine = GENERIC_AVX2
+    halo = scheme_halo("jigsaw", spec, machine)
+    shape = (3,) * (spec.ndim - 1) + (6 * machine.vector_elems,)
+    grid = Grid.random(shape, halo, seed=seed)
+    program = generate("jigsaw", spec, machine, grid)
+    plain = {b: run_program(program, grid, steps, backend=b)
+             for b in ("interp", "batch")}
+    was_enabled = obs.enabled()
+    obs.enable(reset=True)
+    try:
+        for backend, want in plain.items():
+            got = run_program(program, grid, steps, backend=backend)
+            assert np.array_equal(got.data, want.data), (
+                f"{spec.tag}/{backend}: tracing changed the results "
+                f"bitwise after {steps} step(s)"
+            )
+    finally:
+        if not was_enabled:
+            obs.disable()
+    snap = obs.snapshot()
+    assert snap["metrics"]["counters"].get("exec.sweeps", 0) >= 2 * steps
 
 
 def test_known_failure_is_caught():
