@@ -11,7 +11,11 @@ Subcommands::
                                  the analytic blocking tuner)
     run KERNEL ...               execute a kernel and time it
                                  (--profile prints the span tree +
-                                 metrics snapshot of the whole pipeline)
+                                 metrics snapshot of the whole pipeline;
+                                 --fault-plan replays a stored fault plan)
+    chaos [--seed N]             randomized fault injection over the full
+                                 compile-and-sweep workload; verifies the
+                                 faulted run is bitwise-identical to clean
     stats [--json]               persisted cache/tuning counters +
                                  the current observability snapshot
     cache stats|clear            inspect / wipe the kernel compile cache
@@ -226,16 +230,29 @@ def _emit_profile(args) -> None:
 
 
 def cmd_run(args) -> int:
+    from contextlib import nullcontext
     if args.profile or args.metrics_json:
         obs.enable(reset=True)
+    cm = nullcontext(None)
+    if args.fault_plan:
+        from .faults import FaultPlan, inject
+        cm = inject(FaultPlan.load(args.fault_plan))
+    inj = None
     try:
-        with obs.span("repro.run", kernel=args.kernel,
-                      machine=args.machine):
+        with cm as inj, obs.span("repro.run", kernel=args.kernel,
+                                 machine=args.machine):
             code = _cmd_run_inner(args)
     finally:
         if obs.enabled():
             _emit_profile(args)
             obs.disable()
+    if inj is not None:
+        by_site = inj.injected_by_site()
+        detail = ", ".join(f"{site} x{n}"
+                           for site, n in sorted(by_site.items()))
+        print(f"fault plan {args.fault_plan}: "
+              f"{sum(by_site.values())} fault(s) injected"
+              + (f" ({detail})" if detail else ""))
     return code
 
 
@@ -330,6 +347,23 @@ def _cmd_run_inner(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Randomized fault injection with bitwise-equality verification
+    (see :mod:`repro.faults.chaos`).  Exit 0 iff every site class took
+    at least one fault and the faulted run matched the clean run."""
+    from .faults.chaos import run_chaos
+    machine = get_machine(args.machine)
+    backends = (("thread", "process") if args.backend == "both"
+                else (args.backend,))
+    report = run_chaos(kernel=args.kernel, size=args.size, steps=args.steps,
+                       seed=args.seed, backends=backends, machine=machine)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_cache(args) -> int:
     from .core.cache import KernelCache, default_cache_dir
     cache_dir = args.cache_dir or default_cache_dir()
@@ -351,6 +385,8 @@ def cmd_cache(args) -> int:
         "disk hits": totals.get("disk_hits", 0),
         "disk writes": totals.get("disk_writes", 0),
         "disk discards": totals.get("disk_discards", 0),
+        "disk quarantined": totals.get("disk_quarantined", 0),
+        "quarantine entries": cache.quarantined_entries()[0],
         "evictions": totals.get("evictions", 0),
     }))
     return 0
@@ -507,8 +543,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-json", default=None, metavar="PATH",
                    help="write the observability snapshot (spans + "
                         "metrics) to PATH as JSON (implies recording)")
+    p.add_argument("--fault-plan", default=None, metavar="PATH",
+                   help="inject the faults described by this JSON plan "
+                        "during the run (see docs/architecture.md, "
+                        "Failure model)")
     _add_machine_arg(p)
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "chaos",
+        description="Randomized fault injection: run the full "
+                    "compile-and-sweep workload clean and again under a "
+                    "seeded random fault plan covering every injection "
+                    "site, then verify the faulted run produced "
+                    "bitwise-identical results.")
+    p.add_argument("--kernel", default="heat-2d",
+                   help="library kernel to exercise (default: %(default)s)")
+    p.add_argument("--size", type=_size, default=(48, 48),
+                   help="interior extents (default: 48x48)")
+    p.add_argument("--steps", type=int, default=4,
+                   help="sweeps per workload stage (default: %(default)s)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-plan seed (default: %(default)s)")
+    p.add_argument("--backend", default="both",
+                   choices=("thread", "process", "both"),
+                   help="parallel executor backend(s) to sweep on "
+                        "(default: %(default)s)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    _add_machine_arg(p)
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(
         "stats",

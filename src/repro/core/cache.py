@@ -49,7 +49,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple, Union
 
-from .. import obs
+from .. import faults, obs
 from ..config import MachineConfig
 from ..machine.serialize import (
     machine_to_dict,
@@ -66,7 +66,13 @@ from .jigsaw import generate_jigsaw
 from .planner import JigsawPlan, plan as build_plan
 
 #: bump when the on-disk entry layout changes; older entries are discarded.
-ENTRY_FORMAT = 1
+#: v2 added the program checksum (semantic corruption is now detectable,
+#: not just structural corruption).
+ENTRY_FORMAT = 2
+
+#: corrupt/truncated/stale disk entries are moved here (under the cache
+#: directory) instead of deleted, so operators can inspect what broke.
+QUARANTINE_DIR = "_quarantine"
 
 #: legacy/compacted cumulative counters, one file per cache directory.
 STATS_FILE = "_stats.json"
@@ -154,6 +160,8 @@ class CacheStats:
     disk_hits: int = 0       #: subset of ``hits`` loaded from cache_dir
     disk_writes: int = 0
     disk_discards: int = 0   #: corrupted/stale entries thrown away
+    disk_quarantined: int = 0  #: subset of ``disk_discards`` moved aside
+    disk_write_faults: int = 0  #: persists skipped by an injected fault
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -165,6 +173,8 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "disk_writes": self.disk_writes,
             "disk_discards": self.disk_discards,
+            "disk_quarantined": self.disk_quarantined,
+            "disk_write_faults": self.disk_write_faults,
         }
 
     def reset(self) -> None:
@@ -314,6 +324,7 @@ class KernelCache:
                         self._persist_stats()
                         self._observe("cache.program.hit", t0)
                         return loaded
+                    faults.fault_point("compile.kernel")
                     program = generate_jigsaw(
                         plan.spec, plan.machine, grid,
                         time_fusion=plan.time_fusion,
@@ -375,36 +386,75 @@ class KernelCache:
         if path is None or not os.path.exists(path):
             return None
         with obs.span("cache.disk_load", key=key[:12]):
-            entry = _read_json(path)
             try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    raw = fh.read()
+            except OSError:
+                return None  # a vanished/unreadable file is a plain miss
+            try:
+                raw = faults.fault_point("cache.disk_read", payload=raw)
+                entry = json.loads(raw)
                 if (not isinstance(entry, dict)
                         or entry.get("format") != ENTRY_FORMAT
                         or entry.get("key") != key):
                     raise ValueError("malformed or stale cache entry")
+                if entry.get("checksum") != _digest(entry.get("program")):
+                    raise ValueError("program checksum mismatch")
                 program = program_from_dict(entry["program"])
                 if (program.width != plan.machine.vector_elems
                         or program.elem_bytes != plan.machine.element_bytes):
                     raise ValueError("entry lowered for a different machine")
                 check_program_grid(program, grid)
             except Exception:
-                # Anything wrong with a disk entry — unreadable JSON, an
-                # unknown opcode, a geometry mismatch — means recompile, not
-                # crash.  Drop the bad file so it is rebuilt cleanly.
-                with self._lock:
-                    self.stats.disk_discards += 1
-                obs.counter("cache.disk_discards").inc()
-                try:
-                    os.remove(path)
-                except OSError:
-                    pass
+                # Anything wrong with a disk entry — unreadable or
+                # truncated JSON, a checksum mismatch, an unknown opcode,
+                # a geometry mismatch, a simulated read fault — means
+                # recompile, not crash.  The bad file is quarantined for
+                # inspection instead of silently deleted.
+                self._quarantine(path)
                 return None
             return program
+
+    def _quarantine(self, path: str) -> None:
+        """Move a bad disk entry into ``_quarantine/`` (falling back to
+        deletion when the move itself fails) and count the discard."""
+        with self._lock:
+            self.stats.disk_discards += 1
+            self.stats.disk_quarantined += 1
+        obs.counter("cache.disk_discards").inc()
+        obs.counter("cache.disk_quarantined").inc()
+        qdir = os.path.join(os.path.dirname(path), QUARANTINE_DIR)
+        try:
+            os.makedirs(qdir, exist_ok=True)
+            os.replace(path, os.path.join(qdir, os.path.basename(path)))
+        except OSError:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    def quarantined_entries(self) -> Tuple[int, int]:
+        """``(count, bytes)`` of quarantined disk entries."""
+        if self.cache_dir is None:
+            return 0, 0
+        qdir = os.path.join(self.cache_dir, QUARANTINE_DIR)
+        if not os.path.isdir(qdir):
+            return 0, 0
+        count = size = 0
+        for name in os.listdir(qdir):
+            count += 1
+            try:
+                size += os.path.getsize(os.path.join(qdir, name))
+            except OSError:
+                pass
+        return count, size
 
     def _store_entry(self, key: str, plan: JigsawPlan, grid: Grid,
                      program: VectorProgram) -> None:
         path = self._entry_path(key)
         if path is None:
             return
+        program_dict = program_to_dict(program)
         entry = {
             "format": ENTRY_FORMAT,
             "key": key,
@@ -413,11 +463,22 @@ class KernelCache:
             "options": plan.cache_token(),
             "grid": {"shape": list(grid.shape), "halo": list(grid.halo)},
             "terms": [term_to_dict(t) for t in plan.terms],
-            "program": program_to_dict(program),
+            "program": program_dict,
+            "checksum": _digest(program_dict),
         }
+        text = json.dumps(entry, sort_keys=True)
         with obs.span("cache.disk_store", key=key[:12]):
             try:
-                _write_json_atomic(path, entry)
+                text = faults.fault_point("cache.disk_write", payload=text)
+            except faults.FaultInjected:
+                # a failed persist degrades to memory-only for this entry;
+                # the next reader simply misses and recompiles
+                with self._lock:
+                    self.stats.disk_write_faults += 1
+                obs.counter("cache.disk_write_faults").inc()
+                return
+            try:
+                write_text_atomic(path, text)
             except OSError:
                 return  # a read-only cache dir degrades to memory-only
         with self._lock:
@@ -467,6 +528,13 @@ class KernelCache:
                         removed += 1
                     except OSError:
                         pass
+            qdir = os.path.join(self.cache_dir, QUARANTINE_DIR)
+            if os.path.isdir(qdir):
+                for name in os.listdir(qdir):
+                    try:
+                        os.remove(os.path.join(qdir, name))
+                    except OSError:
+                        pass
         return removed
 
     def disk_entries(self) -> Tuple[int, int]:
@@ -494,6 +562,7 @@ class KernelCache:
         count, size = self.disk_entries()
         out["disk_entry_count"] = count
         out["disk_entry_bytes"] = size
+        out["quarantine_entry_count"] = self.quarantined_entries()[0]
         return out
 
 
@@ -540,17 +609,17 @@ def read_json(path: str) -> Optional[Any]:
 _tmp_counter = itertools.count()
 
 
-def write_json_atomic(path: str, payload: Any) -> None:
-    """Write JSON via a temp file + atomic rename, so a concurrent reader
-    never observes a half-written entry.  The temp name includes the pid,
-    the thread id, and a process-wide monotonic counter: two threads (or
-    two renames racing in one thread) can never interleave writes into a
-    shared temp file."""
+def write_text_atomic(path: str, text: str) -> None:
+    """Write ``text`` via a temp file + atomic rename, so a concurrent
+    reader never observes a half-written entry.  The temp name includes
+    the pid, the thread id, and a process-wide monotonic counter: two
+    threads (or two renames racing in one thread) can never interleave
+    writes into a shared temp file."""
     tmp = (f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
            f".{next(_tmp_counter)}")
     try:
         with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, sort_keys=True)
+            fh.write(text)
         os.replace(tmp, path)
     finally:
         try:
@@ -558,6 +627,11 @@ def write_json_atomic(path: str, payload: Any) -> None:
                 os.remove(tmp)
         except OSError:
             pass
+
+
+def write_json_atomic(path: str, payload: Any) -> None:
+    """:func:`write_text_atomic` over the sorted-key JSON of ``payload``."""
+    write_text_atomic(path, json.dumps(payload, sort_keys=True))
 
 
 _read_json = read_json       # backwards-compatible private aliases

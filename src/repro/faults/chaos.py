@@ -1,0 +1,236 @@
+"""``repro chaos``: randomized fault plans + bitwise-equality checking.
+
+Chaos testing closes the loop on the failure model: generate a seeded
+random :class:`~repro.faults.plan.FaultPlan` covering **every** site in
+the catalogue, run the full compile-and-sweep workload twice — once
+clean, once under injection — and verify
+
+* every site class actually took at least one injected fault,
+* the faulted run's results are **bitwise identical** to the clean
+  run's (every recovery path — retry, quarantine + recompile,
+  batch→interp, process→thread→serial — preserves exact results), and
+* every injected fault is visible in the observability taxonomy.
+
+This module imports the service layer, so it is *not* re-exported from
+:mod:`repro.faults` (that would cycle through the kernel cache's import
+of the injector); the CLI imports it lazily.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..config import GENERIC_AVX2, MachineConfig
+from ..service import KernelService, SweepJob
+from ..stencils import library
+from ..stencils.grid import Grid
+from ..stencils.spec import StencilSpec
+from .injector import SITES, inject
+from .plan import FaultPlan, FaultRule
+
+#: fault kinds chaos may draw per site.  ``corrupt`` only where a byte
+#: payload exists; ``kill`` only where a process-pool worker might run it.
+CHAOS_SITE_KINDS: Dict[str, Tuple[str, ...]] = {
+    "cache.disk_read": ("raise", "corrupt", "delay"),
+    "cache.disk_write": ("raise", "corrupt", "delay"),
+    "compile.kernel": ("raise", "delay"),
+    "exec.batch_closure": ("raise", "delay"),
+    "pool.task_start": ("raise", "delay", "kill"),
+    "tile.sweep": ("raise", "delay"),
+}
+
+#: sites whose rules must fire on the very first hit: the workload only
+#: guarantees a small number of hits there (and a ``raise`` at
+#: ``exec.batch_closure`` disables the batch engine for the rest of the
+#: call, so only hit 0 is reachable).
+_FIRST_HIT_SITES = ("cache.disk_read", "cache.disk_write",
+                    "compile.kernel", "exec.batch_closure")
+
+
+def chaos_plan(seed: int) -> FaultPlan:
+    """A seeded random plan with exactly one rule per catalogue site."""
+    rng = random.Random(seed)
+    rules = []
+    for site in SITES:
+        kind = rng.choice(CHAOS_SITE_KINDS[site])
+        after = 0 if site in _FIRST_HIT_SITES else rng.randrange(0, 4)
+        rules.append(FaultRule(site=site, kind=kind, after=after,
+                               delay_s=0.01 if kind == "delay" else 0.0))
+    return FaultPlan(rules=tuple(rules), seed=seed,
+                     name=f"chaos-{seed}")
+
+
+@dataclass
+class ChaosReport:
+    """The outcome of one chaos run (see :func:`run_chaos`)."""
+
+    kernel: str
+    size: Tuple[int, ...]
+    steps: int
+    seed: int
+    backends: Tuple[str, ...]
+    plan: FaultPlan
+    injected: Dict[str, int] = field(default_factory=dict)
+    sites_missing: List[str] = field(default_factory=list)
+    mismatches: List[str] = field(default_factory=list)
+    taxonomy: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def ok(self) -> bool:
+        """Every site faulted at least once and results stayed bitwise
+        identical to the clean run."""
+        return not self.sites_missing and not self.mismatches
+
+    def to_dict(self) -> Dict:
+        return {
+            "kernel": self.kernel,
+            "size": list(self.size),
+            "steps": self.steps,
+            "seed": self.seed,
+            "backends": list(self.backends),
+            "plan": self.plan.to_dict(),
+            "injected": dict(sorted(self.injected.items())),
+            "total_injected": self.total_injected,
+            "sites_missing": list(self.sites_missing),
+            "mismatches": list(self.mismatches),
+            "taxonomy": dict(sorted(self.taxonomy.items())),
+            "ok": self.ok,
+        }
+
+    def summary(self) -> str:
+        lines = [f"chaos seed={self.seed} kernel={self.kernel} "
+                 f"size={'x'.join(map(str, self.size))} steps={self.steps} "
+                 f"backends={','.join(self.backends)}"]
+        lines.append(f"  injected faults: {self.total_injected}")
+        for site in SITES:
+            lines.append(f"    {site:<20} {self.injected.get(site, 0)}")
+        if self.taxonomy:
+            lines.append("  failure/fallback taxonomy:")
+            for name, v in sorted(self.taxonomy.items()):
+                lines.append(f"    {name:<40} {v}")
+        if self.sites_missing:
+            lines.append(f"  MISSING sites: {', '.join(self.sites_missing)}")
+        if self.mismatches:
+            lines.append(f"  BITWISE MISMATCH: {', '.join(self.mismatches)}")
+        lines.append("  result: " + ("OK — faulted run bitwise-identical "
+                                     "to clean run" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+#: counter prefixes that make up the failure/fallback taxonomy slice of
+#: an obs snapshot (shown by ``repro chaos`` and ``repro stats``).
+TAXONOMY_PREFIXES = (
+    "faults.injected",
+    "service.failures",
+    "service.fallback",
+    "parallel.task_retries",
+    "parallel.pool_restarts",
+    "parallel.fallback",
+    "cache.disk_quarantined",
+    "cache.disk_write_faults",
+    "exec.batch_fallback",
+    "tune.trial_failures",
+)
+
+
+def taxonomy_slice(counters: Dict[str, int]) -> Dict[str, int]:
+    """The failure-taxonomy subset of an obs counter snapshot."""
+    return {k: v for k, v in counters.items()
+            if any(k == p or k.startswith(p + ".")
+                   for p in TAXONOMY_PREFIXES)}
+
+
+def _workload(spec: StencilSpec, machine: MachineConfig, cache_dir: str,
+              *, size: Tuple[int, ...], steps: int,
+              backends: Sequence[str], data_seed: int) -> Dict[str, np.ndarray]:
+    """The canonical chaos workload: compile through three cache
+    generations (miss → store → disk load), execute on the SIMD machine,
+    then sweep on each parallel backend.  Returns labelled result arrays
+    for bitwise comparison."""
+
+    def service(**kw) -> KernelService:
+        return KernelService(machine, cache_dir=cache_dir,
+                             failure_policy="degrade", retries=3,
+                             run_workers=4, **kw)
+
+    # generation 0 compiles (and stores); generations 1 and 2 use fresh
+    # in-memory caches over the same directory, so the disk write path
+    # and then the disk read path are guaranteed to be exercised even
+    # when a write fault suppressed the first store.
+    kernel = service().compile(spec, size)
+    for _ in range(2):
+        kernel = service().compile(spec, size)
+    results: Dict[str, np.ndarray] = {}
+    grid = kernel.grid_like(size, seed=data_seed)
+    results["machine"] = kernel.run(grid, steps).interior.copy()
+    for backend in backends:
+        svc = service(run_backend=backend)
+        g = Grid.random(size, spec.radius, seed=data_seed)
+        out = svc.run(SweepJob(spec, g, steps))
+        results[f"sweep.{backend}"] = out.interior.copy()
+    return results
+
+
+def run_chaos(
+    *,
+    kernel: str = "heat-2d",
+    size: Sequence[int] = (48, 48),
+    steps: int = 4,
+    seed: int = 0,
+    backends: Sequence[str] = ("thread", "process"),
+    machine: Optional[MachineConfig] = None,
+    plan: Optional[FaultPlan] = None,
+) -> ChaosReport:
+    """Run the chaos workload clean and faulted; compare bitwise.
+
+    ``plan`` overrides the seeded random plan (used by tests to pin a
+    scenario).  Observability is enabled (reset) for the whole run so
+    the report can include the failure taxonomy."""
+    machine = machine or GENERIC_AVX2
+    spec = library.get(kernel)
+    size = tuple(int(n) for n in size)
+    backends = tuple(backends)
+    plan = plan or chaos_plan(seed)
+    obs.enable(reset=True)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        clean = _workload(spec, machine, os.path.join(tmp, "clean"),
+                          size=size, steps=steps, backends=backends,
+                          data_seed=seed + 1)
+        with inject(plan) as inj:
+            faulted = _workload(spec, machine, os.path.join(tmp, "faulted"),
+                                size=size, steps=steps, backends=backends,
+                                data_seed=seed + 1)
+    injected = inj.injected_by_site()
+    mismatches = [label for label in clean
+                  if clean[label].dtype != faulted[label].dtype
+                  or not np.array_equal(clean[label], faulted[label])]
+    counters = obs.snapshot()["metrics"]["counters"]
+    return ChaosReport(
+        kernel=kernel, size=size, steps=steps, seed=seed, backends=backends,
+        plan=plan,
+        injected=injected,
+        sites_missing=[s for s in SITES if injected.get(s, 0) < 1],
+        mismatches=mismatches,
+        taxonomy=taxonomy_slice(counters),
+    )
+
+
+__all__ = [
+    "CHAOS_SITE_KINDS",
+    "ChaosReport",
+    "TAXONOMY_PREFIXES",
+    "chaos_plan",
+    "run_chaos",
+    "taxonomy_slice",
+]

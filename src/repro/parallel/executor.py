@@ -22,16 +22,28 @@ Both backends are bitwise deterministic: a tile's result depends only on
 the input grid, never on scheduling, and patches land in disjoint output
 slices — so any worker count, and either backend, produces identical
 grids from the same inputs (guarded by ``tests/test_parallel.py``).
+
+Failure model (see ``docs/architecture.md``): a tile task that fails with
+a :class:`~repro.errors.ReproError` (which includes injected faults) is
+recomputed serially in the parent — :func:`apply_tile` zeroes its output
+slice first, so recomputation is idempotent and bitwise identical.  A
+crashed process pool (``BrokenProcessPool``, e.g. a killed worker) is
+restarted up to ``pool_restarts`` times with the phase's unfinished tiles
+resubmitted; past that budget the parent computes the stragglers itself.
+Phases completed before a crash are never redone — the per-phase barrier
+doubles as a recovery checkpoint.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Optional, Sequence, Tuple
+from concurrent.futures.process import BrokenProcessPool
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import TilingError
+from .. import faults, obs
+from ..errors import ReproError, TilingError
 from ..stencils.boundary import fill_halo
 from ..stencils.grid import Grid
 from ..stencils.spec import StencilSpec
@@ -43,7 +55,9 @@ BACKENDS: Tuple[str, ...] = ("thread", "process")
 
 
 def apply_tile(spec: StencilSpec, grid: Grid, out: Grid, tile: Tile) -> None:
-    """One Jacobi sweep restricted to ``tile`` (halo must be filled)."""
+    """One Jacobi sweep restricted to ``tile`` (halo must be filled).
+    Zeroes the output slice first, so a retried tile is idempotent."""
+    faults.fault_point("tile.sweep")
     dst = out.data[tile.slices(out.halo)]
     dst.fill(0.0)
     for off, c in zip(spec.offsets, spec.coeffs):
@@ -56,11 +70,138 @@ def apply_tile(spec: StencilSpec, grid: Grid, out: Grid, tile: Tile) -> None:
 
 def _sweep_tile_patch(args) -> np.ndarray:
     """Process-pool worker: compute one tile's sweep on a private copy of
-    the grid and return the dense patch (module-level for picklability)."""
-    spec, grid, tile = args
+    the grid and return the dense patch (module-level for picklability).
+
+    ``actions`` are faults the *parent* decided at submission time —
+    workers cannot see the parent's injector, so triggered actions ride
+    along with the task and are replayed here (the only place a ``kill``
+    fault really exits)."""
+    spec, grid, tile, actions = args
+    for action in actions:
+        faults.perform_shipped(action)
     out = grid.like()
     apply_tile(spec, grid, out, tile)
     return np.ascontiguousarray(out.data[tile.slices(out.halo)])
+
+
+def _retry_tile(spec: StencilSpec, grid: Grid, out: Grid, tile: Tile,
+                retries: int) -> None:
+    """Serial in-parent recomputation of a failed tile, with a bounded
+    retry budget (later attempts count fresh fault-site hits, so a rule
+    with a finite ``times`` eventually lets the tile through)."""
+    obs.counter("parallel.task_retries").inc()
+    last: Optional[ReproError] = None
+    for _ in range(retries + 1):
+        try:
+            apply_tile(spec, grid, out, tile)
+            return
+        except ReproError as exc:
+            last = exc
+    raise last  # retry budget exhausted: surface the final failure
+
+
+class _PoolBox:
+    """Holder for a restartable process pool (a crashed
+    ``ProcessPoolExecutor`` is unusable; recovery needs a fresh one)."""
+
+    def __init__(self, workers: int) -> None:
+        self.workers = workers
+        self.pool = ProcessPoolExecutor(max_workers=workers)
+
+    def restart(self) -> None:
+        self.pool.shutdown(wait=False, cancel_futures=True)
+        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+
+    def shutdown(self) -> None:
+        self.pool.shutdown()
+
+
+def _decide_task_faults(inj) -> Tuple[faults.FaultAction, ...]:
+    """Consume this task's fault-site hits in the parent, in submission
+    order — the deterministic stand-in for worker-side ``fault_point``
+    calls the injector cannot observe across the process boundary."""
+    if inj is None:
+        return ()
+    actions = []
+    for site in ("pool.task_start", "tile.sweep"):
+        action = inj.decide(site)
+        if action is not None:
+            actions.append(action)
+    return tuple(actions)
+
+
+def _run_phase_process(box: _PoolBox, spec: StencilSpec, cur: Grid,
+                       nxt: Grid, phase: Sequence[Tile], retries: int,
+                       restarts_left: int) -> int:
+    """One phase on the process pool; returns the remaining restart
+    budget (negative = degraded to in-parent execution for the rest of
+    the run).  Loops until every tile of the phase has landed."""
+    if restarts_left < 0:
+        for tile in phase:
+            _retry_tile(spec, cur, nxt, tile, retries)
+        return restarts_left
+    pending: List[Tile] = list(phase)
+    while pending:
+        inj = faults.active()
+        futures: List[Tuple] = []
+        unsubmitted: List[Tile] = []
+        try:
+            for tile in pending:
+                futures.append((box.pool.submit(
+                    _sweep_tile_patch,
+                    (spec, cur, tile, _decide_task_faults(inj))), tile))
+        except BrokenProcessPool:
+            # the pool died before this phase's submissions finished
+            unsubmitted = pending[len(futures):]
+        still_pending: List[Tile] = list(unsubmitted)
+        broken = bool(unsubmitted)
+        for fut, tile in futures:
+            try:
+                patch = fut.result()
+            except faults.FaultInjected:
+                # the worker replayed a raise-style fault: recompute here
+                _retry_tile(spec, cur, nxt, tile, retries)
+            except BrokenProcessPool:
+                broken = True
+                still_pending.append(tile)
+            else:
+                nxt.data[tile.slices(nxt.halo)] = patch
+        pending = still_pending
+        if broken and pending:
+            obs.counter("parallel.pool_restarts").inc()
+            obs.counter("parallel.fallback.reason.worker_lost").inc()
+            if restarts_left > 0:
+                restarts_left -= 1
+                box.restart()
+            else:
+                # restart budget exhausted: degrade to the parent for
+                # this phase and every later one
+                restarts_left = -1
+                for tile in pending:
+                    _retry_tile(spec, cur, nxt, tile, retries)
+                pending = []
+    return restarts_left
+
+
+def _run_phase_thread(pool: ThreadPoolExecutor, spec: StencilSpec,
+                      cur: Grid, nxt: Grid, phase: Sequence[Tile],
+                      retries: int) -> None:
+    """One phase on the thread pool; failed tiles are recomputed
+    serially in the caller after the barrier."""
+
+    def task(tile: Tile) -> None:
+        faults.fault_point("pool.task_start")
+        apply_tile(spec, cur, nxt, tile)
+
+    futures = [(pool.submit(task, tile), tile) for tile in phase]
+    failed: List[Tile] = []
+    for fut, tile in futures:
+        try:
+            fut.result()
+        except ReproError:
+            failed.append(tile)
+    for tile in failed:
+        _retry_tile(spec, cur, nxt, tile, retries)
 
 
 def run_parallel(
@@ -74,6 +215,8 @@ def run_parallel(
     value: float = 0.0,
     schedule: Optional[TileSchedule] = None,
     backend: str = "thread",
+    retries: int = 2,
+    pool_restarts: int = 2,
 ) -> Grid:
     """``steps`` parallel Jacobi sweeps; returns a new grid.
 
@@ -81,7 +224,10 @@ def run_parallel(
     ``workers``.  A custom ``schedule`` overrides the default
     single-phase blocking.  ``backend`` selects the executor (see the
     module docstring); results are bitwise identical across backends and
-    worker counts.
+    worker counts.  ``retries`` bounds in-parent recomputations of a
+    failed tile; ``pool_restarts`` bounds process-pool resurrections
+    after a worker loss (past it, the parent computes remaining tiles
+    itself).  Every recovery path is bitwise identical to a clean run.
     """
     if steps < 0:
         raise TilingError("steps must be non-negative")
@@ -91,6 +237,10 @@ def run_parallel(
         raise TilingError(
             f"unknown executor backend {backend!r}; known: {BACKENDS}"
         )
+    if retries < 0:
+        raise TilingError("retries must be >= 0")
+    if pool_restarts < 0:
+        raise TilingError("pool_restarts must be >= 0")
     if schedule is None:
         if tile_shape is None:
             chunk = max(1, -(-grid.shape[0] // max(1, workers)))
@@ -99,23 +249,24 @@ def run_parallel(
     cur = grid.copy()
     nxt = grid.like()
     if backend == "process":
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        box = _PoolBox(workers)
+        restarts_left = pool_restarts
+        try:
             for _ in range(steps):
                 fill_halo(cur, boundary, value=value)
                 for phase in schedule.phases:
-                    # barrier per phase: zip over map waits for every tile;
-                    # the parent owns all writes, in tile order.
-                    tasks = [(spec, cur, t) for t in phase]
-                    for tile, patch in zip(phase,
-                                           pool.map(_sweep_tile_patch, tasks)):
-                        nxt.data[tile.slices(nxt.halo)] = patch
+                    # barrier per phase: every tile lands before the next
+                    # phase starts, and a completed phase is never redone.
+                    restarts_left = _run_phase_process(
+                        box, spec, cur, nxt, phase, retries, restarts_left)
                 cur, nxt = nxt, cur
+        finally:
+            box.shutdown()
         return cur
     with ThreadPoolExecutor(max_workers=workers) as pool:
         for _ in range(steps):
             fill_halo(cur, boundary, value=value)
             for phase in schedule.phases:
-                # barrier per phase: list() waits for every tile.
-                list(pool.map(lambda t: apply_tile(spec, cur, nxt, t), phase))
+                _run_phase_thread(pool, spec, cur, nxt, phase, retries)
             cur, nxt = nxt, cur
     return cur

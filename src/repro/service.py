@@ -31,8 +31,9 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from . import obs
 from .config import MachineConfig
@@ -40,6 +41,7 @@ from .core.cache import KernelCache, plan_key
 from .core.jigsaw import required_halo
 from .core.kernel import CompiledKernel
 from .errors import ReproError
+from .faults import POLICIES, call_with_timeout, failure_reason
 from .parallel.executor import BACKENDS, run_parallel
 from .stencils.grid import Grid
 from .stencils.spec import StencilSpec
@@ -99,6 +101,10 @@ class KernelService:
         exec_backend: str = "auto",
         tuning_db: Optional[TuningDB] = None,
         tune_budget: Optional[TuneBudget] = None,
+        task_timeout_s: Optional[float] = None,
+        retries: int = 0,
+        retry_backoff_s: float = 0.05,
+        failure_policy: str = "raise",
     ) -> None:
         if cache is not None and cache_dir is not None:
             raise ReproError("pass either cache or cache_dir, not both")
@@ -113,6 +119,17 @@ class KernelService:
             )
         if compile_workers < 1 or run_workers < 1:
             raise ReproError("worker counts must be >= 1")
+        if task_timeout_s is not None and not task_timeout_s > 0:
+            raise ReproError("task_timeout_s must be positive (or None)")
+        if retries < 0:
+            raise ReproError("retries must be >= 0")
+        if retry_backoff_s < 0:
+            raise ReproError("retry_backoff_s must be >= 0")
+        if failure_policy not in POLICIES:
+            raise ReproError(
+                f"unknown failure policy {failure_policy!r}; "
+                f"known: {POLICIES}"
+            )
         if cache is None:
             cache = KernelCache(
                 os.path.expanduser(cache_dir) if cache_dir else None
@@ -134,6 +151,52 @@ class KernelService:
         #: persistent winner store consulted by ``compile_many(tune=True)``
         self.tuning_db = tuning_db
         self.tune_budget = tune_budget or DEFAULT_SERVICE_BUDGET
+        #: per-task wall-clock bound for guarded compiles/runs (None = off)
+        self.task_timeout_s = task_timeout_s
+        #: bounded retry budget consumed before degrading or raising
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        #: ``raise`` | ``retry`` | ``degrade`` (see :mod:`repro.faults.policy`)
+        self.failure_policy = failure_policy
+
+    # -- failure handling ------------------------------------------------------
+    def _guarded(self, what: str, primary: Callable[[], "T"],
+                 degraded: Sequence[Tuple[str, Callable[[], "T"]]] = ()):
+        """Run ``primary`` under the per-task timeout with the service's
+        retry budget (exponential backoff between attempts); once the
+        budget is spent, the ``degrade`` policy walks ``degraded`` — an
+        ordered ladder of ``(label, fn)`` alternatives — before the final
+        failure propagates.  Every failure and fallback lands in the obs
+        taxonomy (``fault | timeout | worker_lost | error``)."""
+        attempts = 1
+        if self.failure_policy in ("retry", "degrade"):
+            attempts += self.retries
+        last: Optional[BaseException] = None
+        for attempt in range(attempts):
+            try:
+                return call_with_timeout(primary, self.task_timeout_s)
+            except (ReproError, BrokenProcessPool) as exc:
+                last = exc
+                reason = failure_reason(exc)
+                obs.counter("service.failures").inc()
+                obs.counter(f"service.failures.reason.{reason}").inc()
+                if attempt + 1 < attempts and self.retry_backoff_s:
+                    time.sleep(self.retry_backoff_s * (2 ** attempt))
+        if self.failure_policy == "degrade":
+            for label, fn in degraded:
+                obs.counter("service.fallback").inc()
+                obs.counter(
+                    f"service.fallback.reason.{failure_reason(last)}").inc()
+                obs.counter(f"service.fallback.to.{label}").inc()
+                try:
+                    return call_with_timeout(fn, self.task_timeout_s)
+                except (ReproError, BrokenProcessPool) as exc:
+                    last = exc
+                    obs.counter("service.failures").inc()
+                    obs.counter(
+                        f"service.failures.reason.{failure_reason(exc)}"
+                    ).inc()
+        raise last
 
     # -- compilation -----------------------------------------------------------
     def compile(self, spec: StencilSpec, shape: Sequence[int], *,
@@ -145,18 +208,42 @@ class KernelService:
         The program is lowered eagerly so the returned kernel is
         ready-to-run (and the expensive work is behind the cache).
         ``backend`` overrides the service-wide execution backend for this
-        kernel (used by tuned compiles)."""
+        kernel (used by tuned compiles).
+
+        The compile is guarded: retried/backed-off per the failure
+        policy, and under ``degrade`` a final attempt pins the
+        interpreter backend on a *private in-memory cache* — a wedged
+        shared cache (e.g. an in-flight compile stuck past its timeout
+        still holding the key lock) cannot block it, and interp is
+        bitwise identical to the batch engine, so degrading never
+        changes results."""
         backend = backend or self.exec_backend
+        degraded = [("interp", lambda: self._compile_once(
+            spec, shape, time_fusion=time_fusion, use_sdf=use_sdf,
+            backend="interp", cache=KernelCache(None)))]
+        return self._guarded(
+            "compile",
+            lambda: self._compile_once(spec, shape, time_fusion=time_fusion,
+                                       use_sdf=use_sdf, backend=backend),
+            degraded)
+
+    def _compile_once(self, spec: StencilSpec, shape: Sequence[int], *,
+                      time_fusion: Union[int, str], use_sdf: bool,
+                      backend: str,
+                      cache: Optional[KernelCache] = None) -> CompiledKernel:
+        """One unguarded compile attempt through ``cache`` (the service
+        cache unless the degraded path supplies a private one)."""
+        cache = cache if cache is not None else self.cache
         t0 = time.perf_counter()
         with obs.span("service.compile", kernel=spec.name):
-            plan = self.cache.plan(spec, self.machine,
-                                   time_fusion=time_fusion, use_sdf=use_sdf,
-                                   backend=backend)
+            plan = cache.plan(spec, self.machine,
+                              time_fusion=time_fusion, use_sdf=use_sdf,
+                              backend=backend)
             halo = required_halo(spec, self.machine,
                                  time_fusion=plan.time_fusion)
             grid = Grid(tuple(shape), halo)
             kernel = CompiledKernel(plan=plan, machine=self.machine,
-                                    grid=grid, cache=self.cache,
+                                    grid=grid, cache=cache,
                                     backend=backend)
             kernel.program  # force lowering through the cache
         if obs.enabled():
@@ -238,16 +325,36 @@ class KernelService:
 
     # -- execution -------------------------------------------------------------
     def run(self, job: SweepJob) -> Grid:
-        """Execute one sweep job on the tiled parallel executor."""
+        """Execute one sweep job on the tiled parallel executor.
+
+        The run is guarded: retried/backed-off per the failure policy,
+        and under ``degrade`` it walks the process → thread → serial
+        ladder (``serial`` = one thread-backend worker).  Tiling is
+        bitwise deterministic across backends and worker counts, so the
+        ladder never changes results."""
+        degraded: List[Tuple[str, Callable[[], Grid]]] = []
+        if self.run_backend == "process":
+            degraded.append(
+                ("thread", lambda: self._run_once(job, backend="thread")))
+        degraded.append(
+            ("serial", lambda: self._run_once(job, backend="thread",
+                                              workers=1)))
+        return self._guarded(
+            "run", lambda: self._run_once(job, backend=self.run_backend),
+            degraded)
+
+    def _run_once(self, job: SweepJob, *, backend: str,
+                  workers: Optional[int] = None) -> Grid:
+        """One unguarded sweep-job execution."""
         t0 = time.perf_counter()
         with obs.span("service.run", kernel=job.spec.name, steps=job.steps):
             result = run_parallel(
                 job.spec, job.grid, job.steps,
                 tile_shape=job.tile_shape,
-                workers=self.run_workers,
+                workers=self.run_workers if workers is None else workers,
                 boundary=job.boundary,
                 value=job.value,
-                backend=self.run_backend,
+                backend=backend,
             )
         if obs.enabled():
             obs.histogram("service.run_ms").observe(

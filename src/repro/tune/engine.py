@@ -31,11 +31,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..config import MachineConfig
 from ..core.cache import KernelCache
 from ..core.jigsaw import required_halo
 from ..core.kernel import CompiledKernel
 from ..errors import ReproError, TuneError
+from ..faults import failure_reason
 from ..machine.perfmodel import PerformanceModel
 from ..parallel.executor import run_parallel
 from ..parallel.simulator import MulticoreModel, ParallelSetup
@@ -311,6 +313,12 @@ def measure(
                 timed_out = len(times) < budget.repeats
                 break
     except ReproError as exc:
+        # injected faults subclass ReproError, so a faulted trial is
+        # recorded as a failure (never poisons the winner DB) and lands
+        # in the obs failure taxonomy under its reason bucket
+        obs.counter("tune.trial_failures").inc()
+        obs.counter(
+            f"tune.trial_failures.reason.{failure_reason(exc)}").inc()
         return Trial(config=config, steps=steps_eff,
                      model_score=model_score, error=str(exc))
     if not times:

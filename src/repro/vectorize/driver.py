@@ -15,7 +15,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .. import obs
+from .. import faults, obs
 from ..errors import VectorizeError
 from ..machine.batch import BatchFallback, analytic_trace, get_batched
 from ..machine.machine import SimdMachine
@@ -129,12 +129,19 @@ def run_program(
                       program.output_array: nxt.data}
             if batched is not None:
                 try:
+                    faults.fault_point("exec.batch_closure")
                     batched.run(arrays)
                     if counter is not None:
                         analytic_trace(program, counter)
                 except BatchFallback:
                     batched = None  # a true recurrence; stay on interp
                     _count_fallback("recurrence")
+                except faults.FaultInjected:
+                    # injected fault before the closure touched arrays:
+                    # finish this (and later) sweeps on the interpreter,
+                    # which is bitwise identical to the batch engine.
+                    batched = None
+                    _count_fallback("fault")
             if batched is None:
                 if machine is None:
                     machine = SimdMachine(program.width,
@@ -155,8 +162,9 @@ def run_program(
 
 def _count_fallback(reason: str) -> None:
     """Tally one batch->interpreter fallback under its reason.  The
-    taxonomy (``mem_hook`` | ``compile`` | ``recurrence``) is documented
-    in docs/architecture.md; silent fallbacks were invisible before."""
+    taxonomy (``mem_hook`` | ``compile`` | ``recurrence`` | ``fault``) is
+    documented in docs/architecture.md; silent fallbacks were invisible
+    before."""
     if obs.enabled():
         obs.counter("exec.batch_fallback").inc()
         obs.counter(f"exec.batch_fallback.reason.{reason}").inc()

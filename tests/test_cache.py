@@ -179,6 +179,53 @@ class TestDiskRobustness:
         assert again.compile(SPEC, GENERIC_AVX2, _grid()).program == cold
         assert again.stats.disk_hits == 1
 
+    def test_corrupted_entry_is_quarantined(self, tmp_path):
+        """A corrupt/truncated entry is moved into ``_quarantine/`` (not
+        deleted), counted in the stats, and excluded from disk entries."""
+        from repro.core.cache import QUARANTINE_DIR
+        cold = _cold_program()
+        cache = KernelCache(str(tmp_path))
+        cache.compile(SPEC, GENERIC_AVX2, _grid()).program
+        (entry,) = self._entry_paths(tmp_path)
+        path = os.path.join(tmp_path, entry)
+        good = open(path).read()
+        with open(path, "w") as fh:
+            fh.write(good[: len(good) // 2])  # truncated write
+        fresh = KernelCache(str(tmp_path))
+        assert fresh.compile(SPEC, GENERIC_AVX2, _grid()).program == cold
+        assert fresh.stats.disk_quarantined == 1
+        assert fresh.stats.disk_discards == 1
+        qdir = os.path.join(tmp_path, QUARANTINE_DIR)
+        assert os.listdir(qdir) == [entry]
+        # the quarantined body is the evidence, preserved verbatim
+        assert open(os.path.join(qdir, entry)).read() == good[: len(good) // 2]
+        d = fresh.stats_dict()
+        assert d["disk_quarantined"] == 1
+        assert d["quarantine_entry_count"] == 1
+        # quarantined files never count as live entries, and clear()
+        # purges them alongside the good ones
+        assert fresh.disk_entries()[0] == 1
+        fresh.clear()
+        assert os.listdir(qdir) == []
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        """Semantic corruption (valid JSON, wrong program content) is
+        caught by the entry checksum and quarantined."""
+        import json as _json
+        cache = KernelCache(str(tmp_path))
+        cache.compile(SPEC, GENERIC_AVX2, _grid()).program
+        (entry,) = self._entry_paths(tmp_path)
+        path = os.path.join(tmp_path, entry)
+        with open(path) as fh:
+            payload = _json.load(fh)
+        payload["program"]["name"] = "tampered"
+        with open(path, "w") as fh:
+            _json.dump(payload, fh)
+        fresh = KernelCache(str(tmp_path))
+        fresh.compile(SPEC, GENERIC_AVX2, _grid()).program
+        assert fresh.stats.disk_quarantined == 1
+        assert fresh.stats.misses == 1
+
     @pytest.mark.parametrize("mangle", [
         lambda e: {**e, "format": ENTRY_FORMAT + 1},
         lambda e: {**e, "key": "0" * 64},

@@ -31,6 +31,8 @@ from hypothesis import strategies as st
 
 from repro import obs
 from repro.config import GENERIC_AVX2, GENERIC_AVX2_F32
+from repro.faults import FaultPlan, FaultRule, inject
+from repro.parallel.executor import run_parallel
 from repro.schemes import generate, scheme_halo
 from repro.stencils import apply_steps
 from repro.stencils.grid import Grid
@@ -205,6 +207,87 @@ def test_tracing_never_changes_results(spec, steps, seed):
             obs.disable()
     snap = obs.snapshot()
     assert snap["metrics"]["counters"].get("exec.sweeps", 0) >= 2 * steps
+
+
+# -- the chaos axis ------------------------------------------------------------
+#
+# Hypothesis-generated fault plans against the hardened layers: any
+# faulted-but-recovered run must be bitwise identical to the clean run.
+# Chaos examples are capped separately (each one pays for clean+faulted
+# runs, and a process pool per example).
+
+CHAOS_SETTINGS = settings(
+    max_examples=min(EXAMPLES, 8),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+executor_fault_rules = st.lists(
+    st.builds(
+        FaultRule,
+        site=st.sampled_from(("pool.task_start", "tile.sweep")),
+        kind=st.sampled_from(("raise", "delay")),
+        after=st.integers(min_value=0, max_value=5),
+        times=st.integers(min_value=1, max_value=2),
+        delay_s=st.just(0.001),
+    ),
+    min_size=1, max_size=3)
+
+
+@CHAOS_SETTINGS
+@given(rules=executor_fault_rules,
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_executor_fault_recovery_never_changes_results(rules, seed):
+    """Random fault plans over the parallel executor's sites: both the
+    thread and the process backend must recover every injected failure
+    and reproduce the clean sweep bitwise."""
+    spec = star(2, 1, center=0.5, arm=[0.125], name="chaos-probe")
+    grid = Grid.random((24, 32), spec.radius, seed=seed)
+    for backend in ("thread", "process"):
+        clean = run_parallel(spec, grid, 2, workers=3, backend=backend)
+        # retry budget covers the worst case of every fault landing on
+        # one tile (3 rules x times<=2 = 6 faults < 7 attempts)
+        with inject(FaultPlan(rules=tuple(rules), seed=seed)):
+            faulted = run_parallel(spec, grid, 2, workers=3,
+                                   backend=backend, retries=6)
+        assert np.array_equal(clean.data, faulted.data), (
+            f"{backend}: fault recovery diverged bitwise "
+            f"(plan: {[r.to_dict() for r in rules]})"
+        )
+
+
+batch_fault_rules = st.lists(
+    st.builds(
+        FaultRule,
+        site=st.just("exec.batch_closure"),
+        kind=st.sampled_from(("raise", "delay")),
+        after=st.integers(min_value=0, max_value=3),
+        times=st.integers(min_value=1, max_value=2),
+        delay_s=st.just(0.001),
+    ),
+    min_size=1, max_size=2)
+
+
+@CHAOS_SETTINGS
+@given(spec=random_specs, rules=batch_fault_rules,
+       steps=st.integers(min_value=1, max_value=3),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_batch_fault_degrades_to_interp_bitwise(spec, rules, steps, seed):
+    """A faulted batch closure must hand the sweep to the interpreter
+    mid-run without perturbing a single bit on either backend request."""
+    machine = GENERIC_AVX2
+    halo = scheme_halo("jigsaw", spec, machine)
+    shape = (3,) * (spec.ndim - 1) + (6 * machine.vector_elems,)
+    grid = Grid.random(shape, halo, seed=seed)
+    program = generate("jigsaw", spec, machine, grid)
+    for backend in ("batch", "auto"):
+        clean = run_program(program, grid, steps, backend=backend)
+        with inject(FaultPlan(rules=tuple(rules), seed=seed)):
+            faulted = run_program(program, grid, steps, backend=backend)
+        assert np.array_equal(clean.data, faulted.data), (
+            f"{spec.tag}/{backend}: batch-closure fault recovery diverged "
+            f"bitwise (plan: {[r.to_dict() for r in rules]})"
+        )
 
 
 def test_known_failure_is_caught():

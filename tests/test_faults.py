@@ -1,0 +1,496 @@
+"""Tests for the fault-injection framework (:mod:`repro.faults`) and the
+hardening it drove into the cache/service/parallel layers: every
+injected failure must be recovered bitwise-identically or surfaced
+loudly, never silently corrupted."""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import faults, obs
+from repro.config import GENERIC_AVX2
+from repro.core.cache import KernelCache, QUARANTINE_DIR
+from repro.machine.serialize import program_to_dict
+from repro.errors import ReproError
+from repro.faults import (
+    SITES,
+    FaultAction,
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    TaskTimeout,
+    call_with_timeout,
+    failure_reason,
+    fault_point,
+    inject,
+)
+from repro.parallel.executor import run_parallel
+from repro.service import KernelService, SweepJob
+from repro.stencils import library
+from repro.stencils.grid import Grid
+
+
+@pytest.fixture()
+def observing():
+    was = obs.enabled()
+    obs.enable(reset=True)
+    try:
+        yield
+    finally:
+        if not was:
+            obs.disable()
+
+
+def _plan(*rules, seed=0):
+    return FaultPlan(rules=tuple(rules), seed=seed)
+
+
+SPEC = library.get("heat-2d")
+
+
+# -- the framework itself ------------------------------------------------------
+
+class TestRuleMatching:
+    def test_site_glob_matches_families(self):
+        inj = FaultInjector(_plan(FaultRule("cache.*", times=2)))
+        assert inj.decide("cache.disk_read") is not None
+        assert inj.decide("cache.disk_write") is not None
+        assert inj.decide("compile.kernel") is None
+
+    def test_exact_site_only(self):
+        inj = FaultInjector(_plan(FaultRule("tile.sweep")))
+        assert inj.decide("pool.task_start") is None
+        assert inj.decide("tile.sweep") is not None
+
+    def test_nth_hit_window(self):
+        # after=2, every=3, times=2: hits 2 and 5 trigger, nothing else
+        inj = FaultInjector(
+            _plan(FaultRule("tile.sweep", after=2, every=3, times=2)))
+        fired = [i for i in range(10)
+                 if inj.decide("tile.sweep") is not None]
+        assert fired == [2, 5]
+
+    def test_times_burnout(self):
+        inj = FaultInjector(_plan(FaultRule("tile.sweep", times=3)))
+        fired = sum(inj.decide("tile.sweep") is not None for _ in range(10))
+        assert fired == 3
+        assert inj.hits("tile.sweep") == 10
+
+    def test_hit_counter_is_per_site(self):
+        inj = FaultInjector(_plan(FaultRule("pool.task_start", after=1)))
+        inj.decide("tile.sweep")  # unrelated site: does not advance
+        assert inj.decide("pool.task_start") is None       # hit 0
+        assert inj.decide("pool.task_start") is not None   # hit 1
+
+    def test_first_matching_rule_wins(self):
+        inj = FaultInjector(_plan(
+            FaultRule("tile.sweep", kind="delay", delay_s=0.0),
+            FaultRule("tile.*", kind="raise"),
+        ))
+        action = inj.decide("tile.sweep")
+        assert action.kind == "delay"
+
+
+class TestInjectScoping:
+    def test_no_active_injector_is_noop(self):
+        assert faults.active() is None
+        assert fault_point("tile.sweep", payload="data") == "data"
+
+    def test_raises_inside_scope_only(self):
+        with inject(_plan(FaultRule("tile.sweep"))) as inj:
+            with pytest.raises(FaultInjected) as err:
+                fault_point("tile.sweep")
+            assert err.value.site == "tile.sweep"
+            assert inj.injected_by_site() == {"tile.sweep": 1}
+        fault_point("tile.sweep")  # scope exited: no-op again
+
+    def test_nesting_innermost_wins(self):
+        outer = _plan(FaultRule("cache.disk_read"))
+        inner = _plan(FaultRule("tile.sweep"))
+        with inject(outer) as o:
+            with inject(inner) as i:
+                # the inner injector absorbs hits, even for sites only
+                # the outer plan watches
+                fault_point("cache.disk_read")
+                assert i.hits("cache.disk_read") == 1
+                assert o.hits("cache.disk_read") == 0
+            with pytest.raises(FaultInjected):
+                fault_point("cache.disk_read")
+
+    def test_injected_counters(self, observing):
+        with inject(_plan(FaultRule("tile.sweep", kind="delay"))):
+            fault_point("tile.sweep")
+        counters = obs.snapshot()["metrics"]["counters"]
+        assert counters["faults.injected"] == 1
+        assert counters["faults.injected.site.tile.sweep"] == 1
+        assert counters["faults.injected.kind.delay"] == 1
+
+
+class TestCorruption:
+    def test_seeded_corruption_is_deterministic(self):
+        text = json.dumps({"k": [1, 2, 3], "p": "x" * 64})
+        outs = set()
+        for _ in range(3):
+            inj = FaultInjector(
+                _plan(FaultRule("cache.disk_read", kind="corrupt"), seed=7))
+            outs.add(fault_result(inj, text))
+        assert len(outs) == 1
+
+    def test_seed_changes_corruption(self):
+        text = json.dumps({"k": [1, 2, 3], "p": "x" * 64})
+        a = fault_result(FaultInjector(
+            _plan(FaultRule("cache.disk_read", kind="corrupt"), seed=1)), text)
+        b = fault_result(FaultInjector(
+            _plan(FaultRule("cache.disk_read", kind="corrupt"), seed=2)), text)
+        assert a != text and b != text
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_corruption_always_detectable(self, seed):
+        # the corruption contract: a mangled JSON payload never parses,
+        # so a corrupt cache entry can always be quarantined
+        text = json.dumps({"format": 2, "program": {"x": list(range(20))}})
+        out = fault_result(FaultInjector(
+            _plan(FaultRule("cache.disk_read", kind="corrupt"),
+                  seed=seed)), text)
+        assert out != text
+        with pytest.raises(ValueError):
+            json.loads(out)
+
+    def test_bytes_payload(self):
+        inj = FaultInjector(
+            _plan(FaultRule("cache.disk_read", kind="corrupt"), seed=3))
+        action = inj.decide("cache.disk_read")
+        out = inj.perform(action, b"0123456789abcdef")
+        assert isinstance(out, bytes) and out != b"0123456789abcdef"
+
+    def test_corrupt_without_payload_raises(self):
+        with inject(_plan(FaultRule("tile.sweep", kind="corrupt"))):
+            with pytest.raises(FaultInjected):
+                fault_point("tile.sweep")
+
+
+def fault_result(inj: FaultInjector, payload):
+    action = inj.decide("cache.disk_read")
+    return inj.perform(action, payload)
+
+
+class TestPlanSerialization:
+    def test_round_trip(self, tmp_path):
+        plan = _plan(
+            FaultRule("cache.*", kind="corrupt", after=1, times=2, every=3),
+            FaultRule("pool.task_start", kind="kill"),
+            seed=42)
+        path = str(tmp_path / "plan.json")
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_from_json_round_trip(self):
+        plan = _plan(FaultRule("tile.sweep", kind="delay", delay_s=0.5))
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    @pytest.mark.parametrize("bad", [
+        {"site": "x", "kind": "explode"},
+        {"site": ""},
+        {"site": "x", "after": -1},
+        {"site": "x", "times": 0},
+        {"site": "x", "every": 0},
+        {"site": "x", "delay_s": -1.0},
+        {"site": "x", "unknown_field": 1},
+        "not-an-object",
+    ])
+    def test_malformed_rules_rejected(self, bad):
+        with pytest.raises(ReproError):
+            FaultRule.from_dict(bad)
+
+    def test_malformed_plan_rejected(self):
+        with pytest.raises(ReproError):
+            FaultPlan.from_json("{nope")
+        with pytest.raises(ReproError):
+            FaultPlan.from_dict({"rules": "nope"})
+        with pytest.raises(ReproError):
+            FaultPlan.from_dict({"seed": "abc"})
+
+    def test_missing_plan_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            FaultPlan.load(str(tmp_path / "absent.json"))
+
+
+class TestPolicyHelpers:
+    def test_failure_reason_taxonomy(self):
+        from concurrent.futures.process import BrokenProcessPool
+        assert failure_reason(FaultInjected()) == "fault"
+        assert failure_reason(TaskTimeout("t")) == "timeout"
+        assert failure_reason(BrokenProcessPool("b")) == "worker_lost"
+        assert failure_reason(ReproError("e")) == "error"
+
+    def test_call_with_timeout_passthrough(self):
+        assert call_with_timeout(lambda: 5, None) == 5
+        assert call_with_timeout(lambda: 5, 10.0) == 5
+
+    def test_call_with_timeout_times_out(self):
+        import time
+        with pytest.raises(TaskTimeout):
+            call_with_timeout(lambda: time.sleep(2.0), 0.05)
+
+    def test_perform_shipped_delay_and_raise(self):
+        # worker-side replay, exercised here in-process (only "kill"
+        # would exit, and it is deliberately not used)
+        done = FaultAction(site="pool.task_start", kind="delay", hit=0,
+                           rule=0, delay_s=0.0)
+        faults.perform_shipped(done)
+        with pytest.raises(FaultInjected):
+            faults.perform_shipped(FaultAction(
+                site="pool.task_start", kind="raise", hit=0, rule=0))
+
+    def test_kill_degrades_to_raise_outside_workers(self):
+        # a kill fault in the parent (or a thread worker) must never
+        # take the process down — it degrades to a raise
+        with inject(_plan(FaultRule("tile.sweep", kind="kill"))):
+            with pytest.raises(FaultInjected) as err:
+                fault_point("tile.sweep")
+        assert err.value.kind == "kill"
+
+    def test_fault_injected_pickles_with_attrs(self):
+        exc = FaultInjected("boom", site="tile.sweep", kind="kill", hit=3)
+        back = pickle.loads(pickle.dumps(exc))
+        assert (back.site, back.kind, back.hit) == ("tile.sweep", "kill", 3)
+        assert isinstance(back, ReproError)
+
+
+# -- hardening regressions -----------------------------------------------------
+
+def _run_grids(backend: str, **kw):
+    grid = Grid.random((40, 40), SPEC.radius, seed=5)
+    return run_parallel(SPEC, grid, 3, workers=4, backend=backend, **kw)
+
+
+class TestExecutorHardening:
+    def test_thread_tile_fault_retried_bitwise(self):
+        clean = _run_grids("thread")
+        with inject(_plan(FaultRule("tile.sweep", after=2, times=2))) as inj:
+            faulted = _run_grids("thread")
+        assert inj.injected_by_site()["tile.sweep"] == 2
+        assert np.array_equal(clean.data, faulted.data)
+
+    def test_thread_pool_task_fault_retried_bitwise(self):
+        clean = _run_grids("thread")
+        with inject(_plan(FaultRule("pool.task_start"))):
+            faulted = _run_grids("thread")
+        assert np.array_equal(clean.data, faulted.data)
+
+    def test_process_worker_raise_recovered_bitwise(self):
+        clean = _run_grids("process")
+        with inject(_plan(FaultRule("pool.task_start", after=1))) as inj:
+            faulted = _run_grids("process")
+        assert inj.injected_by_site()["pool.task_start"] == 1
+        assert np.array_equal(clean.data, faulted.data)
+
+    def test_process_worker_kill_restarts_pool(self, observing):
+        # a killed worker breaks the pool: the executor must restart it,
+        # resubmit the unfinished tiles, and still match bitwise
+        clean = _run_grids("process")
+        with inject(_plan(FaultRule("pool.task_start", kind="kill",
+                                    after=1))) as inj:
+            faulted = _run_grids("process")
+        assert inj.injected_by_site()["pool.task_start"] == 1
+        assert np.array_equal(clean.data, faulted.data)
+        counters = obs.snapshot()["metrics"]["counters"]
+        assert counters["parallel.pool_restarts"] >= 1
+        assert counters["parallel.fallback.reason.worker_lost"] >= 1
+
+    def test_restart_budget_exhausted_degrades_to_parent(self, observing):
+        # more kills than the restart budget: the parent finishes the
+        # phase serially instead of looping on resurrection
+        clean = _run_grids("process")
+        with inject(_plan(FaultRule("pool.task_start", kind="kill",
+                                    times=8))):
+            faulted = _run_grids("process", pool_restarts=1)
+        assert np.array_equal(clean.data, faulted.data)
+        counters = obs.snapshot()["metrics"]["counters"]
+        assert counters["parallel.pool_restarts"] >= 1
+
+    def test_retry_budget_exhausted_raises(self):
+        with inject(_plan(FaultRule("tile.sweep", times=1000))):
+            with pytest.raises(FaultInjected):
+                _run_grids("thread", retries=1)
+
+    @pytest.mark.parametrize("kw", [{"retries": -1}, {"pool_restarts": -1}])
+    def test_negative_budgets_rejected(self, kw):
+        grid = Grid.random((16, 16), SPEC.radius, seed=0)
+        with pytest.raises(ReproError):
+            run_parallel(SPEC, grid, 1, **kw)
+
+
+class TestCacheHardening:
+    def test_corrupt_disk_write_quarantined_on_read(self, tmp_path):
+        # a write fault corrupts the persisted entry; the next cache
+        # generation must quarantine it and recompile, bitwise identical
+        d = str(tmp_path / "cache")
+        grid = Grid((32, 32), 16)
+        with inject(_plan(FaultRule("cache.disk_write", kind="corrupt"))):
+            k1 = KernelCache(d).compile(SPEC, GENERIC_AVX2, grid)
+            p1 = k1.program
+        cache2 = KernelCache(d)
+        k2 = cache2.compile(SPEC, GENERIC_AVX2, grid)
+        assert program_to_dict(k2.program) == program_to_dict(p1)
+        assert cache2.stats.disk_quarantined == 1
+        qdir = os.path.join(d, QUARANTINE_DIR)
+        assert len(os.listdir(qdir)) == 1
+        assert cache2.stats_dict()["quarantine_entry_count"] == 1
+
+    def test_disk_write_fault_skips_store(self, tmp_path):
+        d = str(tmp_path / "cache")
+        grid = Grid((32, 32), 16)
+        with inject(_plan(FaultRule("cache.disk_write"))):
+            cache = KernelCache(d)
+            cache.compile(SPEC, GENERIC_AVX2, grid).program
+        assert cache.stats.disk_write_faults == 1
+        assert cache.disk_entries()[0] == 0  # nothing half-written
+
+    def test_disk_read_fault_recompiles(self, tmp_path):
+        d = str(tmp_path / "cache")
+        grid = Grid((32, 32), 16)
+        p1 = KernelCache(d).compile(SPEC, GENERIC_AVX2, grid).program
+        with inject(_plan(FaultRule("cache.disk_read"))):
+            cache2 = KernelCache(d)
+            p2 = cache2.compile(SPEC, GENERIC_AVX2, grid).program
+        assert program_to_dict(p2) == program_to_dict(p1)
+        assert cache2.stats.disk_quarantined == 1
+
+
+class TestServiceHardening:
+    def test_compile_fault_retried(self):
+        svc = KernelService(GENERIC_AVX2, failure_policy="retry", retries=2)
+        with inject(_plan(FaultRule("compile.kernel"))):
+            k = svc.compile(SPEC, (32, 32))
+        assert k.exec_backend() == "auto"  # primary succeeded on retry
+
+    def test_compile_fault_raise_policy_propagates(self):
+        svc = KernelService(GENERIC_AVX2, failure_policy="raise")
+        with inject(_plan(FaultRule("compile.kernel"))):
+            with pytest.raises(FaultInjected):
+                svc.compile(SPEC, (32, 32))
+
+    def test_compile_timeout_degrades_to_interp(self, observing):
+        # a compile stuck past its timeout degrades to an interp-stamped
+        # kernel — bitwise-safe because batch and interp agree exactly
+        svc = KernelService(GENERIC_AVX2, failure_policy="degrade",
+                            retries=0, task_timeout_s=0.2,
+                            retry_backoff_s=0.0)
+        with inject(_plan(FaultRule("compile.kernel", kind="delay",
+                                    delay_s=1.5))):
+            k = svc.compile(SPEC, (32, 32))
+        assert k.exec_backend() == "interp"
+        counters = obs.snapshot()["metrics"]["counters"]
+        assert counters["service.failures.reason.timeout"] >= 1
+        assert counters["service.fallback.to.interp"] == 1
+
+    def test_run_fault_recovered_bitwise(self):
+        svc = KernelService(GENERIC_AVX2, failure_policy="degrade",
+                            retries=2, retry_backoff_s=0.0)
+        job = SweepJob(SPEC, Grid.random((40, 40), SPEC.radius, seed=4),
+                       steps=3)
+        clean = svc.run(job)
+        with inject(_plan(FaultRule("tile.sweep", times=2))):
+            faulted = svc.run(job)
+        assert np.array_equal(clean.data, faulted.data)
+
+    def test_run_many_faulted_matches_clean(self):
+        svc = KernelService(GENERIC_AVX2, failure_policy="degrade",
+                            retries=3, retry_backoff_s=0.0)
+        jobs = [SweepJob(SPEC, Grid.random((32, 32), SPEC.radius, seed=s),
+                         steps=2) for s in (1, 2)]
+        clean = svc.run_many(jobs)
+        with inject(_plan(FaultRule("pool.task_start", times=3))):
+            faulted = svc.run_many(jobs)
+        for c, f in zip(clean, faulted):
+            assert np.array_equal(c.data, f.data)
+
+
+class TestDriverHardening:
+    def test_batch_closure_fault_falls_back_to_interp(self, observing):
+        svc = KernelService(GENERIC_AVX2)
+        k = svc.compile(SPEC, (32, 32))
+        g = k.grid_like((32, 32), seed=9)
+        steps = 2 * k.plan.time_fusion
+        clean = k.run(g, steps)
+        with inject(_plan(FaultRule("exec.batch_closure"))) as inj:
+            faulted = k.run(g, steps)
+        assert inj.injected_by_site()["exec.batch_closure"] == 1
+        assert np.array_equal(clean.data, faulted.data)
+        counters = obs.snapshot()["metrics"]["counters"]
+        assert counters["exec.batch_fallback.reason.fault"] == 1
+
+
+class TestTunerHardening:
+    def test_faulted_trial_recorded_as_failure(self, observing):
+        from repro.core.cache import KernelCache as KC
+        from repro.tune.engine import TuneBudget, measure
+        from repro.tune.space import TuneConfig
+        budget = TuneBudget(max_trials=1, warmup=0, repeats=1,
+                            trial_timeout_s=30.0)
+        config = TuneConfig(engine="machine")
+        with inject(_plan(FaultRule("compile.kernel", times=100))):
+            trial = measure(SPEC, GENERIC_AVX2, config, (32, 32),
+                            steps=2, budget=budget, cache=KC(None))
+        assert not trial.ok
+        assert "injected" in trial.error
+        counters = obs.snapshot()["metrics"]["counters"]
+        assert counters["tune.trial_failures"] == 1
+        assert counters["tune.trial_failures.reason.fault"] == 1
+
+
+# -- chaos ---------------------------------------------------------------------
+
+class TestChaos:
+    def test_chaos_plan_covers_every_site(self):
+        from repro.faults.chaos import CHAOS_SITE_KINDS, chaos_plan
+        for seed in range(5):
+            plan = chaos_plan(seed)
+            assert sorted(r.site for r in plan.rules) == sorted(SITES)
+            for r in plan.rules:
+                assert r.kind in CHAOS_SITE_KINDS[r.site]
+        assert chaos_plan(3) == chaos_plan(3)  # seeded: reproducible
+
+    def test_chaos_run_bitwise_identical(self):
+        from repro.faults.chaos import run_chaos
+        try:
+            report = run_chaos(size=(32, 32), steps=2, seed=0,
+                               backends=("thread",))
+        finally:
+            obs.disable()  # run_chaos enables recording process-wide
+        assert report.ok, report.summary()
+        assert report.total_injected >= len(SITES)
+        assert not report.sites_missing and not report.mismatches
+        # every injected fault shows up in the taxonomy slice
+        assert report.taxonomy["faults.injected"] == report.total_injected
+        d = report.to_dict()
+        assert d["ok"] and d["injected"] == report.injected
+        assert "result: OK" in report.summary()
+
+    def test_chaos_report_failure_rendering(self):
+        from repro.faults.chaos import ChaosReport, chaos_plan
+        rep = ChaosReport(kernel="heat-2d", size=(8, 8), steps=1, seed=0,
+                          backends=("thread",), plan=chaos_plan(0),
+                          injected={"tile.sweep": 1},
+                          sites_missing=["cache.disk_read"],
+                          mismatches=["machine"])
+        assert not rep.ok and not rep.to_dict()["ok"]
+        text = rep.summary()
+        assert "MISSING" in text and "MISMATCH" in text and "FAILED" in text
+
+    def test_taxonomy_slice_filters_prefixes(self):
+        from repro.faults.chaos import taxonomy_slice
+        counters = {"faults.injected": 3, "faults.injected.kind.raise": 3,
+                    "service.failures.reason.fault": 1, "exec.sweeps": 9,
+                    "cache.disk_quarantined": 1, "cache.disk_writes": 4}
+        out = taxonomy_slice(counters)
+        assert "exec.sweeps" not in out and "cache.disk_writes" not in out
+        assert out["faults.injected"] == 3
+        assert out["cache.disk_quarantined"] == 1

@@ -104,6 +104,33 @@ class TestValidation:
         with pytest.raises(ReproError):
             KernelService(GENERIC_AVX2, run_workers=0)
 
+    @pytest.mark.parametrize("kwargs", [
+        {"task_timeout_s": 0},
+        {"task_timeout_s": -1.0},
+        {"task_timeout_s": float("nan")},
+        {"retries": -1},
+        {"retry_backoff_s": -0.1},
+        {"failure_policy": "explode"},
+        {"failure_policy": ""},
+    ])
+    def test_rejects_bad_failure_config(self, kwargs):
+        with pytest.raises(ReproError):
+            KernelService(GENERIC_AVX2, **kwargs)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"task_timeout_s": None},
+        {"task_timeout_s": 30.0},
+        {"retries": 0},
+        {"retries": 3, "retry_backoff_s": 0.0},
+        {"failure_policy": "raise"},
+        {"failure_policy": "retry"},
+        {"failure_policy": "degrade"},
+    ])
+    def test_accepts_valid_failure_config(self, kwargs):
+        svc = KernelService(GENERIC_AVX2, **kwargs)
+        for k, v in kwargs.items():
+            assert getattr(svc, k) == v
+
     def test_stats_exposes_cache_counters(self, tmp_path):
         svc = _svc(cache_dir=str(tmp_path))
         svc.compile(library.get("heat-1d"), (96,))
