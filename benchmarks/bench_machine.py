@@ -1,12 +1,14 @@
-"""The batch-execution backend speedup gate (ISSUE PR 2's tentpole).
+"""The execution-backend speedup gates.
 
 Times one single sweep of the 2-D star-radius-2 kernel on a 512x512 grid
-through both execution backends of :func:`repro.vectorize.driver.run_program`
-— the per-instruction interpreter and the batched row-tensor engine — and
-asserts the batch backend's contract:
+through the three execution backends of
+:func:`repro.vectorize.driver.run_program` — the per-instruction
+interpreter, the batched row-tensor engine, and the emitted-source
+codegen engine — and asserts their contracts:
 
-* **bitwise identical** output grids, and
-* a **>= 10x** single-sweep speedup floor.
+* **bitwise identical** output grids across all three backends,
+* a **>= 10x** batch-over-interpreter single-sweep speedup floor, and
+* a **>= 2x** codegen-over-batch single-sweep speedup floor.
 
 Appends a timestamped run entry to ``BENCH_machine.json`` (path
 overridable via ``BENCH_MACHINE_JSON``) — the artifact is a list of runs,
@@ -39,6 +41,12 @@ from repro.vectorize.driver import run_program  # noqa: E402
 SHAPE = (512, 512)
 SPEEDUP_FLOOR = 10.0
 
+#: the codegen engine must beat the batch engine by at least this factor
+#: on the same sweep (the tentpole gate: emitted straight-line source
+#: amortizes the per-instruction closure dispatch the batch engine pays
+#: per outer-loop environment)
+CODEGEN_SPEEDUP_FLOOR = 2.0
+
 #: traced execution must stay within this factor of untraced wall-clock
 #: (the observability contract: near-zero overhead when enabled, zero
 #: when disabled)
@@ -67,8 +75,11 @@ def measure() -> dict:
     grid = Grid.random(SHAPE, halo, seed=42)
     program = generate("jigsaw", spec, GENERIC_AVX2, grid)
 
-    # warm both paths (batch compilation, numpy allocator) off the clock
+    # warm every path (batch/codegen compilation, numpy allocator) off
+    # the clock: best-of-N absorbs the one-time specialization cost
     batch_t, batch_grid = _time_sweep(program, grid, "batch", repeats=3)
+    codegen_t, codegen_grid = _time_sweep(program, grid, "codegen",
+                                          repeats=5)
     interp_t, interp_grid = _time_sweep(program, grid, "interp", repeats=1)
 
     # the observability overhead gate: the same batch sweep with spans +
@@ -85,6 +96,8 @@ def measure() -> dict:
                                            batch_grid.data))
 
     identical = bool(np.array_equal(batch_grid.data, interp_grid.data))
+    three_way = bool(identical and np.array_equal(codegen_grid.data,
+                                                  batch_grid.data))
     points = grid.npoints()
     data = {
         "traced_seconds": traced_t,
@@ -99,11 +112,16 @@ def measure() -> dict:
         "steps": program.steps_per_iter,
         "interp_seconds": interp_t,
         "batch_seconds": batch_t,
+        "codegen_seconds": codegen_t,
         "interp_mstencil_s": points / interp_t / 1e6,
         "batch_mstencil_s": points / batch_t / 1e6,
+        "codegen_mstencil_s": points / codegen_t / 1e6,
         "speedup": interp_t / batch_t,
         "speedup_floor": SPEEDUP_FLOOR,
+        "codegen_speedup_over_batch": batch_t / codegen_t,
+        "codegen_speedup_floor": CODEGEN_SPEEDUP_FLOOR,
         "bitwise_identical": identical,
+        "three_way_bitwise": three_way,
     }
     data.update(stages)  # the per-stage span/metric breakdown, if any
     return data
@@ -133,7 +151,7 @@ def _report(data: dict) -> None:
         json.dump(history, fh, indent=2)
         fh.write("\n")
     emit(
-        "Machine backends: batch vs interpreter",
+        "Machine backends: codegen vs batch vs interpreter",
         "\n".join([
             f"kernel          {data['kernel']} on "
             f"{'x'.join(map(str, data['grid']))} ({data['machine']})",
@@ -141,9 +159,13 @@ def _report(data: dict) -> None:
             f"({data['interp_mstencil_s']:.2f} MStencil/s)",
             f"batch           {data['batch_seconds']:.3f} s "
             f"({data['batch_mstencil_s']:.2f} MStencil/s)",
-            f"speedup         {data['speedup']:.1f}x "
+            f"codegen         {data['codegen_seconds']:.3f} s "
+            f"({data['codegen_mstencil_s']:.2f} MStencil/s)",
+            f"batch speedup   {data['speedup']:.1f}x over interp "
             f"(floor {data['speedup_floor']:.0f}x)",
-            f"bitwise         {data['bitwise_identical']}",
+            f"codegen speedup {data['codegen_speedup_over_batch']:.1f}x "
+            f"over batch (floor {data['codegen_speedup_floor']:.0f}x)",
+            f"bitwise         three-way {data['three_way_bitwise']}",
             f"traced overhead {data['trace_overhead']:.3f}x "
             f"(ceiling {data['trace_overhead_ceiling']:.2f}x)",
             f"artifact        {path}",
@@ -174,6 +196,19 @@ def test_batch_backend_speedup():
     )
 
 
+def test_codegen_backend_speedup():
+    """The codegen gate: emitted-source execution must agree bitwise
+    with both other backends and beat the batch engine by the floor."""
+    data = _measured()
+    assert data["three_way_bitwise"], (
+        "codegen backend diverged bitwise from batch/interp"
+    )
+    assert data["codegen_speedup_over_batch"] >= CODEGEN_SPEEDUP_FLOOR, (
+        f"codegen speedup {data['codegen_speedup_over_batch']:.1f}x over "
+        f"batch, below the {CODEGEN_SPEEDUP_FLOOR:.0f}x floor"
+    )
+
+
 def test_trace_overhead_within_ceiling():
     """The observability contract: recording spans + metrics must not
     change results bitwise and must stay within 5% of untraced
@@ -191,5 +226,6 @@ def test_trace_overhead_within_ceiling():
 
 if __name__ == "__main__":
     test_batch_backend_speedup()
+    test_codegen_backend_speedup()
     test_trace_overhead_within_ceiling()
     print("ok")

@@ -107,6 +107,60 @@ def test_tuned_never_loses_and_somewhere_wins():
         f"(best ratio {best:.2f}x < {WIN_RATIO}x)")
 
 
+# ---------------------------------------------------------------------------
+# the model-driven tuner's Table-3 rederivation (merged from the former
+# benchmarks/bench_tuning.py): the analytic search must recover blockings
+# at least as good as the paper's published rows under the same model
+# ---------------------------------------------------------------------------
+
+from repro.analysis.report import render_table  # noqa: E402
+from repro.config import AMD_EPYC_7V13  # noqa: E402
+from repro.parallel.simulator import MulticoreModel, ParallelSetup  # noqa: E402
+from repro.schemes import model_cost  # noqa: E402
+from repro.stencils.library import table3_config  # noqa: E402
+from repro.tuning import autotune  # noqa: E402
+
+MODEL_KERNELS = ("heat-1d", "heat-2d", "box-2d9p", "heat-3d")
+
+
+def _tune_all():
+    rows = []
+    model = MulticoreModel(AMD_EPYC_7V13)
+    for kernel in MODEL_KERNELS:
+        cfg = table3_config(kernel)
+        steps = min(cfg.time_steps, 200)
+        result = autotune(cfg.spec, AMD_EPYC_7V13,
+                          problem_size=cfg.problem_size, steps=steps)
+        # the paper's blocking, evaluated under the same model
+        paper = model.estimate(
+            model_cost(result.best.scheme, cfg.spec, AMD_EPYC_7V13),
+            cfg.spec, points=cfg.grid_points(), steps=steps,
+            cores=AMD_EPYC_7V13.total_cores,
+            setup=ParallelSetup(tile_shape=cfg.tile_shape,
+                                time_depth=cfg.time_depth),
+        )
+        rows.append([
+            kernel,
+            "x".join(map(str, cfg.tile_shape)) + f"/Tb{cfg.time_depth}",
+            paper.gstencil_s,
+            "x".join(map(str, result.best.tile_shape))
+            + f"/Tb{result.best.time_depth}",
+            result.best.gstencil_s,
+            result.evaluated,
+        ])
+    return rows
+
+
+def test_autotuner_rederives_table3():
+    rows = _tune_all()
+    emit("Autotuning vs the paper's Table-3 blocking (AMD model)",
+         render_table(["kernel", "paper blocking", "GS/s",
+                       "tuned blocking", "GS/s", "candidates"], rows))
+    for kernel, _pb, paper_gs, _tb, tuned_gs, _n in rows:
+        assert tuned_gs >= paper_gs * 0.999, kernel
+
+
 if __name__ == "__main__":
     test_tuned_never_loses_and_somewhere_wins()
+    test_autotuner_rederives_table3()
     print("ok")

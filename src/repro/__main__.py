@@ -166,7 +166,7 @@ def cmd_tune(args) -> int:
         patience=args.patience,
     )
     exec_backends = ((args.backend,) if args.backend is not None
-                     else ("auto", "interp"))
+                     else ("auto", "batch", "interp"))
     engines = tuple(e.strip() for e in args.engines.split(",") if e.strip())
     tuner = Tuner(machine, db=TuningDB(db_dir), budget=budget)
     report = tuner.tune(spec, shape, steps=args.steps, engines=engines,
@@ -495,7 +495,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: %(default)s)")
     p.add_argument("--backend", default=None, choices=EXEC_BACKENDS,
                    help="restrict the SIMD-machine engine to one execution "
-                        "backend (default: search auto and interp)")
+                        "backend (default: search auto, batch and interp)")
     p.add_argument("--engines", default="machine,numpy,tiled",
                    help="comma-separated engine families to search "
                         "(default: %(default)s)")
@@ -521,9 +521,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="numpy",
                    choices=("numpy",) + EXEC_BACKENDS,
                    help="execution engine: the numpy fast path (default), "
-                        "or the cycle-exact SIMD machine with batched "
-                        "tensor execution (auto/batch) or the "
-                        "per-instruction interpreter (interp)")
+                        "or the cycle-exact SIMD machine with emitted-"
+                        "source execution (auto/codegen), batched tensor "
+                        "closures (batch), or the per-instruction "
+                        "interpreter (interp)")
     p.add_argument("--scheme", default=None, choices=SCHEMES,
                    help="run a specific vectorization scheme (jigsaw "
                         "variants use the compile pipeline; baselines run "

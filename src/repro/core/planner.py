@@ -19,6 +19,7 @@ from .. import obs
 from ..config import MachineConfig
 from ..errors import PlanError
 from ..stencils.spec import StencilSpec
+from ..vectorize.driver import EXEC_BACKENDS
 from .itm import fusable, merged_spec
 from .sdf import Rank1Term, rows_as_terms, structured_terms
 
@@ -31,8 +32,8 @@ class JigsawPlan:
     machine: MachineConfig
     time_fusion: int
     use_sdf: bool = True
-    #: preferred SIMD-machine execution backend ("auto" | "batch" |
-    #: "interp").  An execution-time preference only: it does not change
+    #: preferred SIMD-machine execution backend ("auto" | "codegen" |
+    #: "batch" | "interp").  An execution-time preference only: it does not change
     #: the generated program, so it participates in plan lookup keys but
     #: never in :meth:`cache_token` (program cache entries are shared
     #: across backends).
@@ -129,10 +130,10 @@ def _plan_checked(
     use_sdf: bool,
     backend: str,
 ) -> JigsawPlan:
-    if backend not in ("auto", "batch", "interp"):
+    if backend not in EXEC_BACKENDS:
         raise PlanError(
             f"unknown execution backend {backend!r}; "
-            f"known: ('auto', 'batch', 'interp')"
+            f"known: {EXEC_BACKENDS}"
         )
     if time_fusion == "auto":
         depth = auto_fusion(spec, machine)

@@ -42,16 +42,18 @@ CHAOS_SITE_KINDS: Dict[str, Tuple[str, ...]] = {
     "cache.disk_write": ("raise", "corrupt", "delay"),
     "compile.kernel": ("raise", "delay"),
     "exec.batch_closure": ("raise", "delay"),
+    "exec.codegen_kernel": ("raise", "delay"),
     "pool.task_start": ("raise", "delay", "kill"),
     "tile.sweep": ("raise", "delay"),
 }
 
 #: sites whose rules must fire on the very first hit: the workload only
 #: guarantees a small number of hits there (and a ``raise`` at
-#: ``exec.batch_closure`` disables the batch engine for the rest of the
-#: call, so only hit 0 is reachable).
+#: ``exec.batch_closure`` / ``exec.codegen_kernel`` disables that engine
+#: for the rest of the call, so only hit 0 is reachable).
 _FIRST_HIT_SITES = ("cache.disk_read", "cache.disk_write",
-                    "compile.kernel", "exec.batch_closure")
+                    "compile.kernel", "exec.batch_closure",
+                    "exec.codegen_kernel")
 
 
 def chaos_plan(seed: int) -> FaultPlan:
@@ -155,9 +157,12 @@ def _workload(spec: StencilSpec, machine: MachineConfig, cache_dir: str,
               *, size: Tuple[int, ...], steps: int,
               backends: Sequence[str], data_seed: int) -> Dict[str, np.ndarray]:
     """The canonical chaos workload: compile through three cache
-    generations (miss → store → disk load), execute on the SIMD machine,
-    then sweep on each parallel backend.  Returns labelled result arrays
-    for bitwise comparison."""
+    generations (miss → store → disk load), execute on the SIMD machine
+    (once on the default codegen→batch→interp ladder, once pinned to the
+    batch engine so ``exec.batch_closure`` stays reachable even when the
+    codegen engine absorbs its fault without degrading), then sweep on
+    each parallel backend.  Returns labelled result arrays for bitwise
+    comparison."""
 
     def service(**kw) -> KernelService:
         return KernelService(machine, cache_dir=cache_dir,
@@ -174,6 +179,8 @@ def _workload(spec: StencilSpec, machine: MachineConfig, cache_dir: str,
     results: Dict[str, np.ndarray] = {}
     grid = kernel.grid_like(size, seed=data_seed)
     results["machine"] = kernel.run(grid, steps).interior.copy()
+    results["machine.batch"] = kernel.run(
+        grid, steps, backend="batch").interior.copy()
     for backend in backends:
         svc = service(run_backend=backend)
         g = Grid.random(size, spec.radius, seed=data_seed)

@@ -43,6 +43,7 @@ SITES = (
     "cache.disk_write",    #: KernelCache persisting an entry
     "compile.kernel",      #: vector-program generation (cache miss path)
     "exec.batch_closure",  #: one batched sweep on the SIMD machine
+    "exec.codegen_kernel",  #: one emitted-source sweep (codegen engine)
     "pool.task_start",     #: a parallel-executor task beginning
     "tile.sweep",          #: one tile's Jacobi sweep
 )

@@ -20,6 +20,7 @@ from .isa import (
 )
 from .machine import SimdMachine
 from .batch import BatchedProgram, BatchFallback, analytic_trace
+from .codegen import CodegenFallback, CodegenProgram, emitted_source, get_codegen
 from .trace import TraceCounter
 from .costs import CostTable, cost_table_for
 from .pipeline import PipelineModel, PipelineEstimate
@@ -44,7 +45,11 @@ __all__ = [
     "SimdMachine",
     "BatchedProgram",
     "BatchFallback",
+    "CodegenFallback",
+    "CodegenProgram",
     "analytic_trace",
+    "emitted_source",
+    "get_codegen",
     "TraceCounter",
     "CostTable",
     "cost_table_for",

@@ -1,0 +1,741 @@
+"""Source-level code generation backend for vector programs.
+
+The batch backend (:mod:`repro.machine.batch`) already collapses the
+x loop into whole-row tensors, but it still dispatches one Python
+closure per instruction per outer-loop environment — for a 512x512
+grid that is hundreds of thousands of closure calls per sweep, and the
+numpy fixed cost on its small ``(trips, width)`` operands dominates.
+This module removes both overheads by *emitting source*:
+
+* the whole loop nest is flattened — every register becomes one tensor
+  of shape ``(*outer_trips, trips, width)``, so a single numpy op per
+  instruction covers the entire sweep;
+* every LOAD/STORE address is resolved at specialization time into
+  either a zero-copy strided view of the flat array (the affine index
+  lattice *is* an `as_strided` pattern whenever all strides are
+  non-negative) or a hoisted flat int64 gather-index constant;
+* every shuffle is lowered to a precomputed last-axis gather whose
+  index vector is derived from the scalar semantics themselves
+  (:func:`repro.machine.batch._probe_shuffle`);
+* single-use arithmetic values are inlined into their consumer, so
+  MUL+FMA chains fold back into ``c0*v0 + (c1*v1 + ...)`` expressions
+  exactly as the paper's C codegen would write them;
+* stores are deferred and committed after the body: one scatter (or
+  strided-view assignment) when the written rows are provably
+  disjoint, an in-order loop otherwise — the interpreter's
+  last-writer-wins order, vectorized.
+
+The emitted text is ``compile()``d + ``exec()``d once per (program,
+array shapes) pair and cached; each sweep is then a single call into
+specialized straight-line code.
+
+**Bitwise identity.**  Gathers, strided views and shuffles are exact
+element copies; ADD/SUB/MUL/FMA are the same IEEE ops applied to the
+same operand values (inlining only substitutes a pure expression for
+its value, and the flattened tensors hold, per (env, x) coordinate,
+exactly the values the interpreter's registers hold at that
+iteration).  Loop-carried registers reuse the batch backend's peeling
+scheme verbatim — shifted rows, bytes-exact convergence, fallback on a
+true recurrence — emitted as a rounds loop in the generated source.
+The differential harness asserts interp == batch == codegen bitwise
+for every scheme, dtype and random spec.
+
+**Fallback taxonomy.**  :class:`CodegenFallback` carries a ``reason``
+the driver feeds into ``exec.codegen_fallback.reason.*`` counters:
+
+* ``compile``    — the program shape cannot be flattened (x-dependent
+  non-last-axis address, prologue store, load/store array aliasing);
+* ``layout``     — the concrete arrays defeat flattening (wrong dtype,
+  non-contiguous, stores that interleave between instructions);
+* ``memory``     — hoisted index constants would exceed
+  :data:`MEMORY_GUARD` elements;
+* ``recurrence`` — a loop-carried register never reaches a fixed
+  point (the scan/prefix case, exactly as in the batch backend).
+
+On any of these the driver degrades codegen -> batch -> interp;
+correctness never depends on this backend succeeding.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import IsaError, MachineError
+from .batch import BatchedProgram, _probe_shuffle, _split_affine
+from .isa import Op
+
+#: cap on the total number of hoisted gather-index elements per
+#: specialization; beyond this the int64 constants would rival the
+#: grids themselves and the batch backend is the better engine
+MEMORY_GUARD = 1 << 24
+
+
+class CodegenFallback(Exception):
+    """The program (or these concrete arrays) cannot run on the codegen
+    backend; the caller should degrade to the batch backend.  ``reason``
+    is one of ``compile | layout | memory | recurrence``."""
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+def _as_view(flat: np.ndarray, offset: int, shape: Tuple[int, ...],
+             strides: Tuple[int, ...]) -> np.ndarray:
+    """Zero-copy view of ``flat`` (1-D) at an affine index lattice.
+    ``strides`` are in elements; bounds were proven at specialization."""
+    itemsize = flat.itemsize
+    return np.lib.stride_tricks.as_strided(
+        flat[offset:], shape=shape,
+        strides=tuple(s * itemsize for s in strides))
+
+
+# ---------------------------------------------------------------------------
+# the value graph
+# ---------------------------------------------------------------------------
+
+class _Node:
+    """One SSA value: a load, shuffle, constant, arithmetic op, or the
+    per-round carry of a loop-carried register."""
+
+    __slots__ = ("vid", "kind", "op", "args", "shape", "section",
+                 "uses", "pinned", "data", "instr", "text")
+
+    def __init__(self, vid, kind, op, args, shape, section, data, instr):
+        self.vid = vid
+        self.kind = kind        # load | shuffle | const | arith | carry
+        self.op = op
+        self.args = args        # operand vids
+        self.shape = shape      # static tensor shape
+        self.section = section  # "pro" | "body"
+        self.uses = 0
+        self.pinned = False     # must be materialized into a variable
+        self.data = data        # kind-specific payload
+        self.instr = instr
+        self.text = None        # expression text, set during emission
+
+
+@dataclass
+class _MemRef:
+    """One LOAD/STORE site, split for lattice addressing."""
+
+    instr: object
+    array: str
+    outer: Tuple[Tuple[int, Tuple[Tuple[str, int], ...]], ...]
+    last: Tuple[int, int, Tuple[Tuple[str, int], ...]]
+    rows: int                 # trips for body refs, 1 for prologue refs
+    is_store: bool
+    vid: int                  # load: produced value; store: stored value
+    order: int                # program order among stores
+
+
+@dataclass
+class _Specialized:
+    """One compiled specialization: the callable, its source text, and
+    the array-shape key it was emitted for."""
+
+    key: tuple
+    fn: object
+    source: str
+
+
+class CodegenProgram:
+    """A :class:`~repro.vectorize.program.VectorProgram` lowered to
+    emitted straight-line numpy source (see module docstring).
+
+    Construction performs the shape-independent analysis and raises
+    :class:`CodegenFallback` (reason ``compile``) for programs that
+    cannot be flattened; concrete array layouts are handled lazily by
+    :meth:`specialize`.
+    """
+
+    def __init__(self, program) -> None:
+        self.program = program
+        self.width = program.width
+        self.dtype = np.float32 if program.elem_bytes == 4 else np.float64
+        self.epl = 16 // program.elem_bytes
+        x_loop = program.x_loop
+        self.x_var = x_loop.var
+        self.trips = x_loop.trip_count
+        self.x_start = x_loop.start
+        self.x_step = x_loop.step
+        self.outer_loops = program.loops[:-1]
+        self.outer_dims = tuple(l.trip_count for l in self.outer_loops)
+        self._loop_pos = {l.var: j for j, l in enumerate(self.outer_loops)}
+        self._xs = (np.arange(self.trips, dtype=np.int64) * self.x_step
+                    + self.x_start)
+        self.carried = BatchedProgram._find_carried(program)
+        self._max_rounds = len(self.carried) + 2
+        self.nodes: List[_Node] = []
+        self.refs: List[_MemRef] = []
+        self._heads: Dict[str, int] = {}    # carried reg -> prologue vid
+        self._finals: Dict[str, int] = {}   # carried reg -> end-of-body vid
+        self._carry_vid: Dict[str, int] = {}
+        self._undefined_carry: Optional[str] = None
+        self._build()
+        self._count_uses()
+        self._specs: Dict[tuple, _Specialized] = {}
+
+    # -- static analysis ---------------------------------------------------
+
+    def _new(self, kind, op, args, shape, section, data=None, instr=None):
+        node = _Node(len(self.nodes), kind, op, tuple(args), tuple(shape),
+                     section, data, instr)
+        self.nodes.append(node)
+        return node.vid
+
+    def _split_mem(self, instr):
+        """Static split of a memory operand; rejects x-dependence off
+        the unit-stride axis (same condition as the batch backend)."""
+        mem = instr.mem
+        outer = []
+        for aff in mem.index[:-1]:
+            const, coeff_x, terms = _split_affine(aff, self.x_var)
+            if coeff_x:
+                raise CodegenFallback(
+                    "compile",
+                    f"{instr}: non-unit-stride axis depends on the x "
+                    f"variable; codegen lowering only handles x on the "
+                    f"last axis")
+            outer.append((const, terms))
+        last = _split_affine(mem.index[-1], self.x_var)
+        return mem.array, tuple(outer), last
+
+    def _build(self) -> None:
+        program = self.program
+        D = len(self.outer_dims) + 2
+        const_shape = (1,) * (D - 1) + (self.width,)
+        pro_shape = self.outer_dims + (1, self.width)
+        body_shape = self.outer_dims + (self.trips, self.width)
+        loaded, stored = set(), set()
+        regmap: Dict[str, int] = {}
+        store_order = itertools.count()
+
+        def emit_instr(instr, section):
+            op = instr.op
+            row_shape = pro_shape if section == "pro" else body_shape
+            rows = 1 if section == "pro" else self.trips
+            if op is Op.LOAD:
+                name, outer, last = self._split_mem(instr)
+                loaded.add(name)
+                vid = self._new("load", op, (), row_shape, section,
+                                instr=instr)
+                self.refs.append(_MemRef(instr, name, outer, last, rows,
+                                         False, vid, -1))
+                regmap[instr.dst] = vid
+                return
+            if op is Op.STORE:
+                if section == "pro":
+                    raise CodegenFallback(
+                        "compile",
+                        f"{instr}: stores in the prologue have ordered "
+                        f"side effects codegen does not flatten")
+                name, outer, last = self._split_mem(instr)
+                stored.add(name)
+                src = instr.srcs[0]
+                if src not in regmap:
+                    # mirror the interpreter: fault at execution time
+                    raise MachineError(
+                        f"{instr}: store of undefined register")
+                vid = regmap[src]
+                self.nodes[vid].pinned = True
+                self.refs.append(_MemRef(instr, name, outer, last, rows,
+                                         True, vid, next(store_order)))
+                return
+            if op is Op.BROADCAST:
+                regmap[instr.dst] = self._new(
+                    "const", op, (), const_shape, section,
+                    data=float(instr.imm), instr=instr)
+                return
+            if op is Op.SETZERO:
+                regmap[instr.dst] = self._new(
+                    "const", op, (), const_shape, section, data=0.0,
+                    instr=instr)
+                return
+            if op is Op.MOV:
+                src = instr.srcs[0]
+                if src not in regmap:
+                    raise IsaError(f"read of undefined register {src!r}")
+                regmap[instr.dst] = regmap[src]
+                return
+            try:
+                args = tuple(regmap[s] for s in instr.srcs)
+            except KeyError as exc:
+                raise IsaError(
+                    f"read of undefined register {exc.args[0]!r}") from None
+            if op in (Op.ADD, Op.SUB, Op.MUL, Op.FMA):
+                shape = np.broadcast_shapes(
+                    *(self.nodes[a].shape for a in args))
+                regmap[instr.dst] = self._new("arith", op, args, shape,
+                                              section, instr=instr)
+                return
+            # every remaining opcode is a pure element shuffle
+            src_of, col_of, zero_cols = _probe_shuffle(
+                instr, self.width, self.epl)
+            groups = []
+            for k in range(len(args)):
+                cols = np.nonzero(src_of == k)[0]
+                if len(zero_cols):
+                    cols = cols[~np.isin(cols, zero_cols)]
+                if len(cols):
+                    groups.append((args[k], cols, col_of[cols]))
+            if groups:
+                shape = np.broadcast_shapes(
+                    *(self.nodes[g[0]].shape for g in groups))
+            else:
+                shape = const_shape
+            regmap[instr.dst] = self._new(
+                "shuffle", op, tuple(g[0] for g in groups), shape, section,
+                data=(groups, zero_cols), instr=instr)
+
+        for instr in program.prologue:
+            emit_instr(instr, "pro")
+
+        for name in self.carried:
+            if name in regmap:
+                self._heads[name] = regmap[name]
+                self.nodes[regmap[name]].pinned = True
+            else:
+                # the interpreter would fault on the first body read;
+                # surface that at run time, not silently read zeros
+                self._undefined_carry = name
+            self._carry_vid[name] = self._new(
+                "carry", None, (), body_shape, "body",
+                data=len(self._carry_vid))
+            regmap[name] = self._carry_vid[name]
+
+        for instr in program.body:
+            emit_instr(instr, "body")
+
+        for name in self.carried:
+            self._finals[name] = regmap[name]
+            self.nodes[regmap[name]].pinned = True
+
+        if loaded & stored:
+            raise CodegenFallback(
+                "compile",
+                f"arrays {sorted(loaded & stored)} are both loaded and "
+                f"stored; flattening would reorder the interpreter's "
+                f"read-after-write sequence")
+
+    def _count_uses(self) -> None:
+        for node in self.nodes:
+            for a in node.args:
+                arg = self.nodes[a]
+                arg.uses += 1
+                if arg.section != node.section:
+                    arg.pinned = True
+
+    # -- specialization ----------------------------------------------------
+
+    def _grid(self, const: int, terms) -> np.ndarray:
+        """Evaluate ``const + sum(coeff*var)`` over the whole outer
+        iteration lattice; shape ``outer_dims`` (0-d when no outer loops)."""
+        n = len(self.outer_dims)
+        g = np.full((1,) * n, const, dtype=np.int64) if n else \
+            np.int64(const)
+        for var, c in terms:
+            if var not in self._loop_pos:
+                raise IsaError(
+                    f"unbound loop variable {var!r} in address")
+            j = self._loop_pos[var]
+            loop = self.outer_loops[j]
+            vals = np.arange(loop.start, loop.stop, loop.step,
+                             dtype=np.int64)
+            shape = [1] * n
+            shape[j] = len(vals)
+            g = g + c * vals.reshape(shape)
+        return np.broadcast_to(g, self.outer_dims)
+
+    def _env_at(self, flat_index: int) -> dict:
+        """Reconstruct the loop environment of one flattened outer index
+        (for error messages that mirror the batch backend's)."""
+        if not self.outer_dims:
+            return {}
+        multi = np.unravel_index(flat_index, self.outer_dims)
+        return {l.var: l.start + int(i) * l.step
+                for l, i in zip(self.outer_loops, multi)}
+
+    def _resolve_ref(self, ref: _MemRef, arrays) -> dict:
+        """Bounds-check one memory site against concrete arrays and
+        compute its flat-index lattice.  Returns a dict with the row
+        starts, the strided-view description (or None), and the array."""
+        if ref.array not in arrays:
+            raise MachineError(f"unknown array {ref.array!r} in {ref.instr}")
+        arr = arrays[ref.array]
+        if len(ref.outer) + 1 != arr.ndim:
+            raise MachineError(
+                f"{ref.instr}: address has {len(ref.outer) + 1} axes, "
+                f"array has {arr.ndim}")
+        strides = tuple(s // arr.itemsize for s in arr.strides)
+        flat_base = np.zeros(self.outer_dims, dtype=np.int64)
+        for axis, ((const, terms), n) in enumerate(
+                zip(ref.outer, arr.shape[:-1])):
+            idx = self._grid(const, terms)
+            if idx.size:
+                bad = (idx < 0) | (idx >= n)
+                if bad.any():
+                    e = int(np.argmax(bad.reshape(-1)))
+                    raise MachineError(
+                        f"{ref.instr}: axis {axis} index "
+                        f"{int(idx.reshape(-1)[e])} out of bounds [0, {n}) "
+                        f"with env {self._env_at(e)}")
+            flat_base = flat_base + idx * strides[axis]
+        const, coeff_x, terms = ref.last
+        last = self._grid(const, terms)
+        xs = self._xs if ref.rows != 1 else \
+            np.array([self.x_start], dtype=np.int64)
+        last_rows = last[..., None] + coeff_x * xs
+        n_last = arr.shape[-1]
+        if last_rows.size:
+            lo = int(last_rows.min())
+            hi = int(last_rows.max())
+            if lo < 0 or hi + self.width > n_last:
+                bad = (last_rows < 0) | (last_rows + self.width > n_last)
+                e = int(np.argmax(bad.any(axis=-1).reshape(-1)))
+                raise MachineError(
+                    f"{ref.instr}: x range [{lo}, {hi + self.width}) out "
+                    f"of bounds [0, {n_last}) with env {self._env_at(e)}")
+        starts = flat_base[..., None] + last_rows
+        # strided-view eligibility: one uniform non-negative stride per
+        # lattice dimension (true by affine construction; the sign check
+        # keeps `flat[offset:]` anchored at the smallest element)
+        dim_strides = []
+        for j, loop in enumerate(self.outer_loops):
+            per = sum(c * strides[a]
+                      for a, (_, ts) in enumerate(ref.outer)
+                      for v, c in ts if v == loop.var)
+            per += sum(c for v, c in terms if v == loop.var)
+            dim_strides.append(per * loop.step)
+        dim_strides.append(coeff_x * self.x_step)
+        dim_strides.append(1)
+        viewable = all(s >= 0 for s in dim_strides) and starts.size > 0
+        view = None
+        if viewable:
+            view = (int(starts.reshape(-1)[0]),
+                    self.outer_dims + (len(xs), self.width),
+                    tuple(int(s) for s in dim_strides))
+        return {"ref": ref, "arr": arr, "starts": starts, "view": view}
+
+    def specialize(self, arrays: Mapping[str, np.ndarray]) -> _Specialized:
+        """Emit + compile the specialized sweep function for these
+        arrays' shapes (cached)."""
+        names = sorted({r.array for r in self.refs})
+        for name in names:
+            if name not in arrays:
+                raise MachineError(f"unknown array {name!r} in program "
+                                   f"{self.program.name!r}")
+        key = tuple((name, arrays[name].shape) for name in names)
+        spec = self._specs.get(key)
+        if spec is None:
+            self._validate_layout(arrays, names)
+            spec = self._emit(arrays, key)
+            self._specs[key] = spec
+        return spec
+
+    def _validate_layout(self, arrays, names) -> None:
+        for name in names:
+            arr = arrays[name]
+            if arr.dtype != self.dtype:
+                raise CodegenFallback(
+                    "layout",
+                    f"array {name!r} has dtype {arr.dtype}, program "
+                    f"expects {np.dtype(self.dtype)}")
+            if not arr.flags.c_contiguous:
+                raise CodegenFallback(
+                    "layout",
+                    f"array {name!r} is not C-contiguous; flat-index "
+                    f"addressing needs a contiguous buffer")
+
+    def run(self, arrays: Mapping[str, np.ndarray]) -> None:
+        """Execute one full sweep.  Raises :class:`CodegenFallback` when
+        the arrays' layout defeats flattening or a loop-carried
+        recurrence fails to converge (deferred stores make the failed
+        attempt harmless); the caller then degrades to the batch
+        backend."""
+        if self._undefined_carry is not None:
+            raise IsaError(
+                f"read of undefined register {self._undefined_carry!r}")
+        names = sorted({r.array for r in self.refs})
+        self._validate_layout(arrays, names)
+        spec = self.specialize(arrays)
+        spec.fn(arrays)
+
+    # -- emission ----------------------------------------------------------
+
+    def _emit(self, arrays, key) -> _Specialized:
+        width = self.width
+        sites = [self._resolve_ref(ref, arrays) for ref in self.refs]
+        budget = sum(
+            s["starts"].size * width for s in sites
+            if s["view"] is None or s["ref"].is_store)
+        if budget > MEMORY_GUARD:
+            raise CodegenFallback(
+                "memory",
+                f"hoisted index constants would need {budget} elements "
+                f"(guard: {MEMORY_GUARD}); batch backend is cheaper here")
+        store_plan = self._plan_stores(sites)
+
+        ns = {"np": np, "_as_view": _as_view,
+              "CodegenFallback": CodegenFallback,
+              "_DT": self.dtype}
+        consts = itertools.count()
+        vars_ = itertools.count()
+
+        def hoist(value) -> str:
+            name = f"_K{next(consts)}"
+            ns[name] = value
+            return name
+
+        arr_names = sorted({r.array for r in self.refs})
+        arr_var = {name: f"_a{i}" for i, name in enumerate(arr_names)}
+        site_of = {id(s["ref"]): s for s in sites}
+
+        pro_lines: List[str] = []
+        body_lines: List[str] = []
+
+        def out(section) -> List[str]:
+            return pro_lines if section == "pro" else body_lines
+
+        def load_expr(ref: _MemRef) -> str:
+            s = site_of[id(ref)]
+            a = arr_var[ref.array]
+            if s["view"] is not None:
+                off, shape, strides = s["view"]
+                return f"_as_view({a}, {off}, {shape}, {strides})"
+            cols = np.arange(width, dtype=np.int64)
+            idx = s["starts"][..., None] + cols
+            return f"{a}[{hoist(idx)}]"
+
+        for node in self.nodes:
+            sec = node.section
+            if node.kind == "const":
+                value = np.full((1,) * (len(node.shape) - 1) + (width,),
+                                node.data, dtype=self.dtype)
+                node.text = hoist(value)
+            elif node.kind == "carry":
+                node.text = f"_c{node.data}"
+            elif node.kind == "load":
+                ref = next(r for r in self.refs
+                           if not r.is_store and r.vid == node.vid)
+                v = f"_v{next(vars_)}"
+                out(sec).append(f"{v} = {load_expr(ref)}")
+                node.text = v
+            elif node.kind == "shuffle":
+                groups, zero_cols = node.data
+                v = f"_v{next(vars_)}"
+                single = (len(groups) == 1 and len(zero_cols) == 0
+                          and len(groups[0][1]) == width)
+                if single:
+                    src = self.nodes[groups[0][0]].text
+                    take = hoist(groups[0][2].astype(np.int64))
+                    out(sec).append(f"{v} = {src}[..., {take}]")
+                else:
+                    out(sec).append(
+                        f"{v} = np.empty({node.shape}, _DT)")
+                    for gvid, cols, take in groups:
+                        src = self.nodes[gvid].text
+                        kc = hoist(cols.astype(np.int64))
+                        kt = hoist(take.astype(np.int64))
+                        out(sec).append(f"{v}[..., {kc}] = {src}[..., {kt}]")
+                    if len(zero_cols):
+                        kz = hoist(zero_cols.astype(np.int64))
+                        out(sec).append(f"{v}[..., {kz}] = 0.0")
+                node.text = v
+            elif node.kind == "arith":
+                a = [self.nodes[x].text for x in node.args]
+                if node.op is Op.ADD:
+                    expr = f"({a[0]} + {a[1]})"
+                elif node.op is Op.SUB:
+                    expr = f"({a[0]} - {a[1]})"
+                elif node.op is Op.MUL:
+                    expr = f"({a[0]} * {a[1]})"
+                else:  # FMA: same evaluation as the interpreter, unfused
+                    expr = f"({a[0]} * {a[1]} + {a[2]})"
+                if node.uses > 1 or node.pinned:
+                    v = f"_v{next(vars_)}"
+                    out(sec).append(f"{v} = {expr}")
+                    node.text = v
+                else:
+                    node.text = expr
+
+        commit_lines = self._emit_commits(store_plan, sites, arr_var, hoist)
+
+        src = self._assemble(arr_var, pro_lines, body_lines, commit_lines,
+                             arrays, key)
+        code = compile(src, f"<codegen:{self.program.name}>", "exec")
+        exec(code, ns)
+        return _Specialized(key=key, fn=ns["_sweep"], source=src)
+
+    def _plan_stores(self, sites) -> Dict[int, str]:
+        """Choose a commit strategy per store site: ``direct`` (scatter
+        or view — order-free), ``rowloop`` (in-order over x rows,
+        vectorized over envs) or ``elemloop`` (fully ordered)."""
+        width = self.width
+        plan: Dict[int, str] = {}
+        by_array: Dict[str, list] = {}
+        for s in sites:
+            if s["ref"].is_store:
+                by_array.setdefault(s["ref"].array, []).append(s)
+        for name, group in by_array.items():
+            starts = np.concatenate(
+                [s["starts"].reshape(-1) for s in group])
+            order = np.sort(starts)
+            disjoint = order.size < 2 or bool(
+                (np.diff(order) >= width).all())
+            if disjoint:
+                for s in group:
+                    plan[id(s["ref"])] = "direct"
+                continue
+            if len(group) > 1:
+                raise CodegenFallback(
+                    "layout",
+                    f"{len(group)} stores to {name!r} interleave "
+                    f"overlapping rows; codegen cannot reproduce the "
+                    f"interpreter's write order")
+            s = group[0]
+            rows = s["starts"].reshape(-1, s["starts"].shape[-1])
+            env_ok = True
+            if rows.shape[0] > 1:
+                span = np.sort(
+                    np.stack([rows.min(axis=1), rows.max(axis=1)], axis=1),
+                    axis=0)
+                gaps = span[1:, 0] - span[:-1, 1]
+                env_ok = bool((gaps >= width).all())
+            plan[id(s["ref"])] = "rowloop" if env_ok else "elemloop"
+        return plan
+
+    def _emit_commits(self, plan, sites, arr_var, hoist) -> List[str]:
+        width = self.width
+        lines: List[str] = []
+        stores = sorted((s for s in sites if s["ref"].is_store),
+                        key=lambda s: s["ref"].order)
+        for i, s in enumerate(stores):
+            ref = s["ref"]
+            a = arr_var[ref.array]
+            val = self.nodes[ref.vid].text
+            mode = plan[id(ref)]
+            full = self.outer_dims + (ref.rows, width)
+            cols = np.arange(width, dtype=np.int64)
+            if mode == "direct":
+                if s["view"] is not None:
+                    off, shape, strides = s["view"]
+                    lines.append(
+                        f"_as_view({a}, {off}, {shape}, {strides})[...]"
+                        f" = {val}")
+                else:
+                    idx = s["starts"][..., None] + cols
+                    lines.append(f"{a}[{hoist(idx)}] = {val}")
+                continue
+            idx = s["starts"][..., None] + cols
+            k = hoist(idx)
+            bv = f"_bv{i}"
+            if mode == "rowloop":
+                lines.append(f"{bv} = np.broadcast_to({val}, {full})")
+                lines.append(f"for _t in range({ref.rows}):")
+                lines.append(f"    {a}[{k}[..., _t, :]] = {bv}[..., _t, :]")
+            else:  # elemloop: env-major row-major, the interpreter's order
+                lines.append(
+                    f"{bv} = np.broadcast_to({val}, {full})"
+                    f".reshape(-1, {width})")
+                lines.append(f"_ix{i} = {k}.reshape(-1, {width})")
+                lines.append(f"for _j in range(_ix{i}.shape[0]):")
+                lines.append(f"    {a}[_ix{i}[_j]] = {bv}[_j]")
+        return lines
+
+    def _assemble(self, arr_var, pro_lines, body_lines, commit_lines,
+                  arrays, key) -> str:
+        p = self.program
+        lines = [
+            f"# codegen: {p.name} [{p.scheme}] width={p.width} "
+            f"elem_bytes={p.elem_bytes}",
+            f"# outer={self.outer_dims} trips={self.trips} "
+            f"carried={self.carried}",
+        ]
+        for name, shape in key:
+            lines.append(f"# array {name}: shape={shape}")
+        lines.append("def _sweep(arrays):")
+
+        def block(text_lines, indent):
+            pad = " " * indent
+            for ln in text_lines:
+                lines.append(pad + ln if ln else "")
+
+        entry = [f"{var} = arrays[{name!r}].reshape(-1)"
+                 for name, var in sorted(arr_var.items())]
+        block(entry, 4)
+        if pro_lines:
+            block(["# prologue (all outer environments at once)"], 4)
+            block(pro_lines, 4)
+        if not self.carried:
+            if body_lines:
+                block(["# body (flattened loop nest)"], 4)
+                block(body_lines, 4)
+        else:
+            shape = self.outer_dims + (self.trips, self.width)
+            init = ["# loop-carried registers: peel into shifted rows"]
+            for name in self.carried:
+                j = self.nodes[self._carry_vid[name]].data
+                head = self.nodes[self._heads[name]].text
+                init.append(f"_c{j} = np.zeros({shape}, _DT)")
+                init.append(f"_c{j}[..., :1, :] = {head}")
+            block(init, 4)
+            block([f"for _round in range({self._max_rounds}):"], 4)
+            block(body_lines, 8)
+            conv = ["_cv = True"]
+            for name in self.carried:
+                j = self.nodes[self._carry_vid[name]].data
+                head = self.nodes[self._heads[name]].text
+                fin = self.nodes[self._finals[name]]
+                shift = ("[..., :-1, :]" if fin.shape[-2] == self.trips
+                         else "[..., :1, :]")
+                conv += [
+                    f"_n{j} = np.empty({shape}, _DT)",
+                    f"_n{j}[..., :1, :] = {head}",
+                    f"_n{j}[..., 1:, :] = {fin.text}{shift}",
+                    f"_cv = _cv and (_n{j}.tobytes() == _c{j}.tobytes())",
+                ]
+            conv.append("if _cv:")
+            conv.append("    break")
+            for name in self.carried:
+                j = self.nodes[self._carry_vid[name]].data
+                conv.append(f"_c{j} = _n{j}")
+            block(conv, 8)
+            block(["else:"], 4)
+            msg = (f"{p.name}: loop-carried registers {self.carried} "
+                   f"did not reach a fixed point in {self._max_rounds} "
+                   f"rounds (true recurrence)")
+            block([f"raise CodegenFallback('recurrence', {msg!r})"], 8)
+        if commit_lines:
+            block(["# deferred stores (committed in interpreter order)"], 4)
+            block(commit_lines, 4)
+        if not (entry or pro_lines or body_lines or commit_lines
+                or self.carried):
+            block(["pass"], 4)
+        return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# compile cache
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=128)
+def get_codegen(program) -> CodegenProgram:
+    """Lower (memoized) — raises :class:`CodegenFallback` for programs
+    the codegen backend cannot flatten."""
+    return CodegenProgram(program)
+
+
+def emitted_source(program, arrays: Mapping[str, np.ndarray]) -> str:
+    """The specialized source text for ``program`` on these arrays —
+    the artifact the golden-source conformance tests snapshot."""
+    return get_codegen(program).specialize(arrays).source
+
+
+__all__ = ["CodegenFallback", "CodegenProgram", "MEMORY_GUARD",
+           "emitted_source", "get_codegen"]

@@ -140,7 +140,8 @@ class KernelService:
         self.run_workers = run_workers
         self.run_backend = run_backend
         #: SIMD-machine execution backend stamped on every compiled
-        #: kernel (see :data:`repro.vectorize.driver.EXEC_BACKENDS`)
+        #: kernel (see :data:`repro.vectorize.driver.EXEC_BACKENDS`);
+        #: ``auto`` degrades codegen -> batch -> interp at run time
         self.exec_backend = exec_backend
         if tuning_db is None:
             # disk-backed caches get a disk-backed tuning DB next to the

@@ -18,6 +18,7 @@ import numpy as np
 from .. import faults, obs
 from ..errors import VectorizeError
 from ..machine.batch import BatchFallback, analytic_trace, get_batched
+from ..machine.codegen import CodegenFallback, get_codegen
 from ..machine.machine import SimdMachine
 from ..machine.trace import TraceCounter
 from ..stencils.boundary import fill_halo
@@ -25,10 +26,12 @@ from ..stencils.grid import Grid
 from .program import VectorProgram
 
 #: execution backends accepted by :func:`run_program`:
-#: ``"auto"`` (batch with automatic interpreter fallback), ``"batch"``
-#: (same resolution — the fallback is a correctness guarantee, not an
-#: option), ``"interp"`` (force the per-instruction interpreter).
-EXEC_BACKENDS: Tuple[str, ...] = ("auto", "batch", "interp")
+#: ``"auto"``/``"codegen"`` (emitted-source engine with automatic
+#: degradation codegen -> batch -> interp — the fallbacks are a
+#: correctness guarantee, not an option), ``"batch"`` (whole-row tensor
+#: closures, degrading to the interpreter), ``"interp"`` (force the
+#: per-instruction interpreter).
+EXEC_BACKENDS: Tuple[str, ...] = ("auto", "codegen", "batch", "interp")
 
 
 def check_program_grid(program: VectorProgram, grid: Grid) -> None:
@@ -75,13 +78,14 @@ def run_program(
     multiple of the program's fused step count.
 
     ``backend`` selects the execution engine (:data:`EXEC_BACKENDS`).
-    The default lowers the program once into whole-row tensor closures
-    (:mod:`repro.machine.batch`) and falls back to the interpreter
-    whenever batching cannot apply: a per-access ``mem_hook`` is attached
-    (the cache simulator needs ordered accesses), or a loop-carried
-    recurrence fails to peel.  Both engines produce bitwise-identical
-    grids; with a ``counter``, batch sweeps are tallied analytically
-    (exactly matching the interpreter's executed counts).
+    The default emits one specialized straight-line source function per
+    program (:mod:`repro.machine.codegen`) and degrades codegen ->
+    batch -> interp whenever an engine cannot apply: a per-access
+    ``mem_hook`` is attached (the cache simulator needs ordered
+    accesses), the layout defeats flattening, or a loop-carried
+    recurrence fails to peel.  All engines produce bitwise-identical
+    grids; with a ``counter``, codegen/batch sweeps are tallied
+    analytically (exactly matching the interpreter's executed counts).
     """
     s = program.steps_per_iter
     if steps < 0:
@@ -101,16 +105,25 @@ def run_program(
     check_program_grid(program, grid)
     if steps == 0:
         return grid.copy()
+    codegen = None
     batched = None
     if backend != "interp":
         if mem_hook is not None:
             # per-access hooks need ordered accesses; a gather has none
-            _count_fallback("mem_hook")
+            _count_fallback(
+                "codegen" if backend in ("auto", "codegen") else "batch",
+                "mem_hook")
         else:
-            try:
-                batched = get_batched(program)
-            except BatchFallback:
-                _count_fallback("compile")
+            if backend in ("auto", "codegen"):
+                try:
+                    codegen = get_codegen(program)
+                except CodegenFallback as exc:
+                    _count_fallback("codegen", exc.reason)
+            if codegen is None:
+                try:
+                    batched = get_batched(program)
+                except BatchFallback:
+                    _count_fallback("batch", "compile")
     machine = None
     nx = grid.shape[-1]
     covered = program.x_loop.trip_count * program.block
@@ -127,7 +140,30 @@ def run_program(
             fill_halo(cur, boundary, value=value)
             arrays = {program.input_array: cur.data,
                       program.output_array: nxt.data}
-            if batched is not None:
+            if codegen is not None:
+                try:
+                    faults.fault_point("exec.codegen_kernel")
+                    codegen.run(arrays)
+                    if counter is not None:
+                        analytic_trace(program, counter)
+                except CodegenFallback as exc:
+                    # layout/memory/recurrence: degrade to the batch
+                    # engine for this and later sweeps (deferred stores
+                    # make the failed attempt harmless)
+                    codegen = None
+                    _count_fallback("codegen", exc.reason)
+                except faults.FaultInjected:
+                    # injected fault before the kernel touched arrays:
+                    # finish on the next engine, which is bitwise
+                    # identical to this one.
+                    codegen = None
+                    _count_fallback("codegen", "fault")
+                if codegen is None:
+                    try:
+                        batched = get_batched(program)
+                    except BatchFallback:
+                        _count_fallback("batch", "compile")
+            if codegen is None and batched is not None:
                 try:
                     faults.fault_point("exec.batch_closure")
                     batched.run(arrays)
@@ -135,14 +171,14 @@ def run_program(
                         analytic_trace(program, counter)
                 except BatchFallback:
                     batched = None  # a true recurrence; stay on interp
-                    _count_fallback("recurrence")
+                    _count_fallback("batch", "recurrence")
                 except faults.FaultInjected:
                     # injected fault before the closure touched arrays:
                     # finish this (and later) sweeps on the interpreter,
                     # which is bitwise identical to the batch engine.
                     batched = None
-                    _count_fallback("fault")
-            if batched is None:
+                    _count_fallback("batch", "fault")
+            if codegen is None and batched is None:
                 if machine is None:
                     machine = SimdMachine(program.width,
                                           elem_bytes=program.elem_bytes,
@@ -156,18 +192,19 @@ def run_program(
                 obs.histogram("exec.sweep_ms").observe(
                     (time.perf_counter() - t0) * 1e3)
         if observing:
-            espan.set(engine="batch" if batched is not None else "interp")
+            espan.set(engine="codegen" if codegen is not None
+                      else "batch" if batched is not None else "interp")
     return cur
 
 
-def _count_fallback(reason: str) -> None:
-    """Tally one batch->interpreter fallback under its reason.  The
-    taxonomy (``mem_hook`` | ``compile`` | ``recurrence`` | ``fault``) is
-    documented in docs/architecture.md; silent fallbacks were invisible
-    before."""
+def _count_fallback(engine: str, reason: str) -> None:
+    """Tally one degradation out of ``engine`` under its reason.  The
+    taxonomy (``mem_hook`` | ``compile`` | ``layout`` | ``memory`` |
+    ``recurrence`` | ``fault``) is documented in docs/architecture.md;
+    silent fallbacks were invisible before."""
     if obs.enabled():
-        obs.counter("exec.batch_fallback").inc()
-        obs.counter(f"exec.batch_fallback.reason.{reason}").inc()
+        obs.counter(f"exec.{engine}_fallback").inc()
+        obs.counter(f"exec.{engine}_fallback.reason.{reason}").inc()
 
 
 def _apply_tail(spec, cur: Grid, nxt: Grid, covered: int,

@@ -24,6 +24,14 @@ from repro.stencils.grid import Grid
 from _helpers import KERNELS, SIM_KERNELS, random_grid, small_shape  # noqa: F401,E402
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens", action="store_true", default=False,
+        help="rewrite the committed golden emitted-source snapshots "
+             "(tests/goldens/) from the current codegen output instead "
+             "of comparing against them")
+
+
 @pytest.fixture
 def avx2():
     return GENERIC_AVX2

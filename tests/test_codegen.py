@@ -1,0 +1,544 @@
+"""Conformance suite for the emitted-source codegen backend.
+
+Three layers of guarantees:
+
+* **golden sources** — the exact text :func:`repro.machine.codegen.
+  emitted_source` produces for canonical star/box kernels is committed
+  under ``tests/goldens/`` and compared byte-for-byte.  Any change to
+  the emission pipeline shows up as a readable source diff; rerun with
+  ``pytest --regen-goldens`` to bless an intended change.
+* **emission units** — the index-precomputation split (zero-copy strided
+  views vs hoisted gather constants) and arithmetic folding (single-use
+  FMA chains inlined into one expression) hold on purpose-built
+  programs, with results checked bitwise against the interpreter.
+* **fallback taxonomy** — every :class:`CodegenFallback` reason
+  (``compile`` | ``layout`` | ``memory`` | ``recurrence`` | ``mem_hook``)
+  fires where documented, deferred stores keep failed attempts
+  side-effect free, and the driver degrades codegen -> batch -> interp
+  with the per-engine reason counters.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.config import GENERIC_AVX2
+from repro.errors import VectorizeError
+from repro.machine import codegen as codegen_mod
+from repro.machine.codegen import (
+    CodegenFallback,
+    CodegenProgram,
+    emitted_source,
+    get_codegen,
+)
+from repro.machine.isa import Affine
+from repro.machine.machine import SimdMachine
+from repro.schemes import generate, scheme_halo
+from repro.stencils import library
+from repro.stencils.grid import Grid
+from repro.vectorize.driver import run_program
+from repro.vectorize.program import Loop, ProgramBuilder
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+
+#: kernel name -> committed golden file for the jigsaw/AVX2 lowering on
+#: a fixed 8x32 interior (the source depends only on program + shapes)
+GOLDEN_CASES = {
+    "star-2d9p": "codegen_star2d9p_jigsaw_avx2.txt",
+    "box-2d9p": "codegen_box2d9p_jigsaw_avx2.txt",
+}
+
+GOLDEN_SHAPE = (8, 32)
+
+
+def _jigsaw_case(kernel_name, shape=GOLDEN_SHAPE, seed=7):
+    spec = library.get(kernel_name)
+    halo = scheme_halo("jigsaw", spec, GENERIC_AVX2)
+    grid = Grid.random(shape, halo, seed=seed)
+    prog = generate("jigsaw", spec, GENERIC_AVX2, grid)
+    return prog, grid
+
+
+def _golden_source(kernel_name):
+    prog, grid = _jigsaw_case(kernel_name)
+    arrays = {prog.input_array: grid.data,
+              prog.output_array: grid.like().data}
+    return emitted_source(prog, arrays)
+
+
+def _run_both(prog, arrays_factory):
+    """(interpreter arrays, codegen arrays) after one sweep each."""
+    a1 = arrays_factory()
+    a2 = arrays_factory()
+    SimdMachine(prog.width, elem_bytes=prog.elem_bytes).run(prog, a1)
+    CodegenProgram(prog).run(a2)
+    return a1, a2
+
+
+# ---------------------------------------------------------------------------
+# golden sources
+# ---------------------------------------------------------------------------
+
+class TestGoldenSources:
+    @pytest.mark.parametrize("kernel", sorted(GOLDEN_CASES))
+    def test_emitted_source_matches_golden(self, kernel, request):
+        src = _golden_source(kernel)
+        path = os.path.join(GOLDEN_DIR, GOLDEN_CASES[kernel])
+        if request.config.getoption("--regen-goldens"):
+            os.makedirs(GOLDEN_DIR, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(src)
+        with open(path, "r", encoding="utf-8") as fh:
+            expected = fh.read()
+        assert src == expected, (
+            f"emitted source for {kernel!r} drifted from the committed "
+            f"golden ({path}); if the emission change is intended, rerun "
+            f"with --regen-goldens and review the diff")
+
+    def test_emitted_source_is_deterministic(self):
+        assert _golden_source("star-2d9p") == _golden_source("star-2d9p")
+
+    def test_specialization_is_per_shape(self):
+        """A different grid shape re-specializes; the original entry
+        stays cached (source text differs in its hoisted geometry)."""
+        prog, grid = _jigsaw_case("star-2d9p")
+        cg = CodegenProgram(prog)
+        arrays = {prog.input_array: grid.data,
+                  prog.output_array: grid.like().data}
+        first = cg.specialize(arrays)
+        assert cg.specialize(arrays) is first
+
+
+# ---------------------------------------------------------------------------
+# emission units
+# ---------------------------------------------------------------------------
+
+class TestEmissionUnits:
+    def test_forward_strides_become_views(self):
+        """Non-negative lattice strides lower loads to zero-copy
+        ``_as_strided`` views — no index constants materialized."""
+        src = _golden_source("star-2d9p")
+        assert "_as_view(" in src
+
+    def test_negative_stride_becomes_gather(self):
+        """A reversed x walk (negative row stride) cannot be a view; the
+        load must gather through a hoisted int64 index constant."""
+        b = ProgramBuilder(4)
+        v = b.load(b.mem(Affine.var("x", coeff=-1, const=12)))
+        b.store(v, b.mem(Affine.var("x"), array="out"))
+        prog = b.build(name="rev", scheme="t",
+                       loops=[Loop("x", 0, 16, 4)], vectors_per_iter=1)
+        arrays = {"a": np.arange(16.0), "out": np.zeros(16)}
+        src = emitted_source(prog, arrays)
+        assert re.search(r"_a\d+\[_K\d+\]", src), src
+
+        def factory():
+            return {"a": np.arange(16.0) ** 2, "out": np.zeros(16)}
+        a1, a2 = _run_both(prog, factory)
+        assert np.array_equal(a2["out"], a1["out"])
+
+    def test_fma_chain_folds_into_one_expression(self):
+        """Single-use FMA results are inlined into their consumer: the
+        whole chain becomes one ``a*b + (c*d + ...)`` expression instead
+        of one temporary per instruction."""
+        b = ProgramBuilder(4)
+        v0 = b.load(b.mem(Affine.var("x")))
+        v1 = b.load(b.mem(Affine.var("x", const=1)))
+        c = b.broadcast(3.0)
+        z = b.setzero()
+        f1 = b.fma(c, v0, z)
+        f2 = b.fma(c, v1, f1)
+        b.store(f2, b.mem(Affine.var("x"), array="out"))
+        prog = b.build(name="fold", scheme="t",
+                       loops=[Loop("x", 0, 16, 4)], vectors_per_iter=1)
+        arrays = {"a": np.arange(20.0), "out": np.zeros(16)}
+        src = emitted_source(prog, arrays)
+        folded = [ln for ln in src.splitlines()
+                  if ln.count(" * ") == 2 and " + (" in ln]
+        assert folded, f"no folded FMA chain in emitted source:\n{src}"
+
+        def factory():
+            return {"a": np.linspace(0.0, 2.0, 20), "out": np.zeros(16)}
+        a1, a2 = _run_both(prog, factory)
+        assert np.array_equal(a2["out"], a1["out"])
+
+    def test_multi_use_value_is_materialized_once(self):
+        """A value consumed twice must bind to one ``_v`` variable, not
+        be re-evaluated per use."""
+        b = ProgramBuilder(4)
+        v = b.load(b.mem(Affine.var("x")))
+        s = b.add(v, v)
+        r = b.mul(s, s)
+        b.store(r, b.mem(Affine.var("x"), array="out"))
+        prog = b.build(name="reuse", scheme="t",
+                       loops=[Loop("x", 0, 16, 4)], vectors_per_iter=1)
+        arrays = {"a": np.arange(16.0), "out": np.zeros(16)}
+        src = emitted_source(prog, arrays)
+        # the doubly-used sum binds to one variable, evaluated once;
+        # its consumer squares the variable, not the re-inlined sum
+        assert src.count("(_v0 + _v0)") == 1, src
+        assert re.search(r"\(_v\d+ \* _v\d+\)", src), src
+
+        def factory():
+            return {"a": np.arange(16.0), "out": np.zeros(16)}
+        a1, a2 = _run_both(prog, factory)
+        assert np.array_equal(a2["out"], a1["out"])
+
+    def test_get_codegen_is_memoized(self):
+        prog, _ = _jigsaw_case("star-2d9p")
+        assert get_codegen(prog) is get_codegen(prog)
+
+
+# ---------------------------------------------------------------------------
+# fallback taxonomy
+# ---------------------------------------------------------------------------
+
+def _scan_program():
+    """A prefix-sum over x — a true loop-carried recurrence no amount
+    of peeling resolves."""
+    b = ProgramBuilder(4)
+    b.in_prologue()
+    z = b.setzero()
+    b.mov_to("acc", z)
+    b.in_body()
+    v = b.load(b.mem(Affine.var("x")))
+    b.add(v, "acc", dst="acc")
+    b.store("acc", b.mem(Affine.var("x"), array="out"))
+    return b.build(name="scan", scheme="t", loops=[Loop("x", 0, 16, 4)],
+                   vectors_per_iter=1)
+
+
+def _copy_program():
+    b = ProgramBuilder(4)
+    v = b.load(b.mem(Affine.var("x")))
+    b.store(v, b.mem(Affine.var("x"), array="out"))
+    return b.build(name="copy", scheme="t", loops=[Loop("x", 0, 16, 4)],
+                   vectors_per_iter=1)
+
+
+class TestFallbackTaxonomy:
+    def test_recurrence_raises_with_untouched_output(self):
+        prog = _scan_program()
+        arrays = {"a": np.arange(16.0), "out": np.zeros(16)}
+        with pytest.raises(CodegenFallback) as ei:
+            CodegenProgram(prog).run(arrays)
+        assert ei.value.reason == "recurrence"
+        # deferred stores: the failed attempt must not have scribbled
+        assert np.array_equal(arrays["out"], np.zeros(16))
+
+    def test_dtype_mismatch_is_layout_fallback(self):
+        arrays = {"a": np.arange(16, dtype=np.float32),
+                  "out": np.zeros(16, dtype=np.float32)}
+        with pytest.raises(CodegenFallback) as ei:
+            CodegenProgram(_copy_program()).run(arrays)
+        assert ei.value.reason == "layout"
+
+    def test_noncontiguous_array_is_layout_fallback(self):
+        arrays = {"a": np.arange(32.0)[::2], "out": np.zeros(16)}
+        with pytest.raises(CodegenFallback) as ei:
+            CodegenProgram(_copy_program()).run(arrays)
+        assert ei.value.reason == "layout"
+
+    def test_index_budget_is_memory_fallback(self, monkeypatch):
+        monkeypatch.setattr(codegen_mod, "MEMORY_GUARD", 0)
+        arrays = {"a": np.arange(16.0), "out": np.zeros(16)}
+        with pytest.raises(CodegenFallback) as ei:
+            CodegenProgram(_copy_program()).run(arrays)
+        assert ei.value.reason == "memory"
+
+    def test_prologue_store_is_compile_fallback(self):
+        b = ProgramBuilder(4)
+        b.in_prologue()
+        v = b.load(b.mem(Affine.of(0)))
+        b.store(v, b.mem(Affine.of(0), array="out"))
+        b.in_body()
+        w = b.load(b.mem(Affine.var("x")))
+        b.store(w, b.mem(Affine.var("x"), array="out"))
+        prog = b.build(name="ps", scheme="t", loops=[Loop("x", 0, 16, 4)],
+                       vectors_per_iter=1)
+        with pytest.raises(CodegenFallback) as ei:
+            CodegenProgram(prog)
+        assert ei.value.reason == "compile"
+
+    def test_inplace_aliasing_is_compile_fallback(self):
+        """Loading and storing the same array would reorder reads past
+        writes once flattened; codegen must refuse."""
+        b = ProgramBuilder(4)
+        v = b.load(b.mem(Affine.var("x")))
+        b.store(v, b.mem(Affine.var("x", const=4)))
+        prog = b.build(name="alias", scheme="t",
+                       loops=[Loop("x", 0, 16, 4)], vectors_per_iter=1)
+        with pytest.raises(CodegenFallback) as ei:
+            CodegenProgram(prog)
+        assert ei.value.reason == "compile"
+
+
+@pytest.fixture()
+def observing():
+    was = obs.enabled()
+    obs.enable(reset=True)
+    try:
+        yield
+    finally:
+        if not was:
+            obs.disable()
+
+
+class TestDriverDegradation:
+    def test_unknown_backend_rejected(self):
+        prog, grid = _jigsaw_case("star-2d9p")
+        with pytest.raises(VectorizeError):
+            run_program(prog, grid, prog.steps_per_iter, backend="vliw")
+
+    def test_recurrence_walks_the_full_ladder(self, observing):
+        """codegen (recurrence) -> batch (recurrence) -> interp, with one
+        reason counter per degraded engine and interp-identical output."""
+        prog = _scan_program()
+        grid = Grid.random((16,), 0, seed=1)
+        expect = run_program(prog, grid, 1, backend="interp")
+        got = run_program(prog, grid, 1, backend="codegen")
+        assert np.array_equal(got.data, expect.data)
+        counters = obs.snapshot()["metrics"]["counters"]
+        assert counters["exec.codegen_fallback.reason.recurrence"] == 1
+        assert counters["exec.batch_fallback.reason.recurrence"] == 1
+
+    def test_mem_hook_forces_interp(self, observing):
+        """A per-access hook needs the interpreter's ordered accesses;
+        the codegen engine must bow out before the first sweep."""
+        prog, grid = _jigsaw_case("star-2d9p")
+        expect = run_program(prog, grid, prog.steps_per_iter,
+                             backend="interp")
+        hits = []
+        got = run_program(prog, grid, prog.steps_per_iter,
+                          backend="codegen",
+                          mem_hook=lambda *a, **k: hits.append(a))
+        assert np.array_equal(got.data, expect.data)
+        assert hits, "mem_hook never fired — interp did not run"
+        counters = obs.snapshot()["metrics"]["counters"]
+        assert counters["exec.codegen_fallback.reason.mem_hook"] == 1
+
+    def test_codegen_backend_matches_interp_on_jigsaw(self):
+        prog, grid = _jigsaw_case("star-2d9p", seed=11)
+        steps = 2 * prog.steps_per_iter
+        a = run_program(prog, grid, steps, backend="interp")
+        b = run_program(prog, grid, steps, backend="codegen")
+        assert np.array_equal(a.data, b.data)
+
+
+# ---------------------------------------------------------------------------
+# interpreter-parity error paths and store-commit modes
+# ---------------------------------------------------------------------------
+
+from repro.errors import IsaError, MachineError  # noqa: E402
+from repro.machine.isa import Instr, Op  # noqa: E402
+
+
+class TestErrorPathParity:
+    def test_store_of_undefined_register(self):
+        b = ProgramBuilder(4)
+        b.store("ghost", b.mem(Affine.var("x"), array="out"))
+        prog = b.build(name="sg", scheme="t", loops=[Loop("x", 0, 16, 4)],
+                       vectors_per_iter=1)
+        with pytest.raises(MachineError):
+            CodegenProgram(prog)
+
+    def test_read_of_undefined_register(self):
+        b = ProgramBuilder(4)
+        v = b.load(b.mem(Affine.var("x")))
+        b.emit(Instr(Op.ADD, dst="d", srcs=(v, "ghost")))
+        b.store("d", b.mem(Affine.var("x"), array="out"))
+        prog = b.build(name="rg", scheme="t", loops=[Loop("x", 0, 16, 4)],
+                       vectors_per_iter=1)
+        with pytest.raises(IsaError):
+            CodegenProgram(prog)
+
+    def test_undefined_carry_is_deferred_to_run(self):
+        """A register read before its first body definition with no
+        prologue seed faults on the interpreter's first read; codegen
+        must surface the same error at run time, not read zeros."""
+        b = ProgramBuilder(4)
+        b.in_body()
+        b.store("w", b.mem(Affine.var("x"), array="out"))
+        b.load_to("w", b.mem(Affine.var("x")))
+        prog = b.build(name="uc", scheme="t", loops=[Loop("x", 0, 16, 4)],
+                       vectors_per_iter=1)
+        cg = CodegenProgram(prog)
+        with pytest.raises(IsaError):
+            cg.run({"a": np.arange(16.0), "out": np.zeros(16)})
+
+    def test_unknown_array_in_specialize(self):
+        cg = CodegenProgram(_copy_program())
+        with pytest.raises(MachineError):
+            cg.specialize({"a": np.arange(16.0)})
+
+    def test_unbound_loop_variable(self):
+        b = ProgramBuilder(4)
+        v = b.load(b.mem(Affine.var("z")))
+        b.store(v, b.mem(Affine.var("x"), array="out"))
+        prog = b.build(name="ub", scheme="t", loops=[Loop("x", 0, 16, 4)],
+                       vectors_per_iter=1)
+        with pytest.raises(IsaError):
+            CodegenProgram(prog).specialize(
+                {"a": np.arange(16.0), "out": np.zeros(16)})
+
+    def test_rank_mismatch(self):
+        b = ProgramBuilder(4)
+        v = b.load(b.mem(Affine.var("y"), Affine.var("x")))
+        b.store(v, b.mem(Affine.var("y"), Affine.var("x"), array="out"))
+        prog = b.build(name="rk", scheme="t",
+                       loops=[Loop("y", 0, 2, 1), Loop("x", 0, 8, 4)],
+                       vectors_per_iter=1)
+        with pytest.raises(MachineError):
+            CodegenProgram(prog).specialize(
+                {"a": np.arange(16.0), "out": np.zeros(16)})
+
+    def test_outer_axis_out_of_bounds(self):
+        b = ProgramBuilder(4)
+        v = b.load(b.mem(Affine.var("y", const=3), Affine.var("x")))
+        b.store(v, b.mem(Affine.var("y"), Affine.var("x"), array="out"))
+        prog = b.build(name="ob", scheme="t",
+                       loops=[Loop("y", 0, 2, 1), Loop("x", 0, 8, 4)],
+                       vectors_per_iter=1)
+        arrays = {"a": np.zeros((2, 8)), "out": np.zeros((2, 8))}
+        with pytest.raises(MachineError) as ei:
+            CodegenProgram(prog).specialize(arrays)
+        assert "out of bounds" in str(ei.value)
+
+    def test_x_range_out_of_bounds(self):
+        arrays = {"a": np.arange(8.0), "out": np.zeros(16)}
+        with pytest.raises(MachineError) as ei:
+            CodegenProgram(_copy_program()).specialize(arrays)
+        assert "out of bounds" in str(ei.value)
+
+    def test_x_dependent_outer_axis_is_compile_fallback(self):
+        b = ProgramBuilder(4)
+        v = b.load(b.mem(Affine.var("x"), Affine.var("x")))
+        b.store(v, b.mem(Affine.var("y"), Affine.var("x"), array="out"))
+        prog = b.build(name="xd", scheme="t",
+                       loops=[Loop("y", 0, 2, 1), Loop("x", 0, 8, 4)],
+                       vectors_per_iter=1)
+        with pytest.raises(CodegenFallback) as ei:
+            CodegenProgram(prog)
+        assert ei.value.reason == "compile"
+
+
+class TestStoreCommitModes:
+    def test_overlapping_rows_use_ordered_rowloop(self):
+        """x rows two apart with width 4 overlap; the commit must replay
+        the interpreter's in-order row writes."""
+        b = ProgramBuilder(4)
+        v = b.load(b.mem(Affine.var("x")))
+        two = b.broadcast(2.0)
+        r = b.mul(two, v)
+        b.store(r, b.mem(Affine.var("x"), array="out"))
+        prog = b.build(name="ovr", scheme="t",
+                       loops=[Loop("x", 0, 14, 2)], vectors_per_iter=1)
+        arrays = {"a": np.arange(20.0), "out": np.zeros(20)}
+        src = emitted_source(prog, arrays)
+        assert "for _t in range(" in src, src
+
+        def factory():
+            return {"a": np.arange(20.0) ** 2, "out": np.zeros(20)}
+        a1, a2 = _run_both(prog, factory)
+        assert np.array_equal(a2["out"], a1["out"])
+
+    def test_overlapping_envs_use_ordered_elemloop(self):
+        """When even the per-env row spans interleave, the commit drops
+        to the fully ordered element loop (env-major, the interpreter's
+        order)."""
+        b = ProgramBuilder(4)
+        v = b.load(b.mem(Affine.of(0, x=1, y=2)))
+        b.store(v, b.mem(Affine.of(0, x=1, y=2), array="out"))
+        prog = b.build(name="ove", scheme="t",
+                       loops=[Loop("y", 0, 2, 1), Loop("x", 0, 8, 4)],
+                       vectors_per_iter=1)
+        arrays = {"a": np.arange(12.0), "out": np.zeros(12)}
+        src = emitted_source(prog, arrays)
+        assert "for _j in range(" in src, src
+
+        def factory():
+            return {"a": np.arange(12.0) * 1.5, "out": np.zeros(12)}
+        a1, a2 = _run_both(prog, factory)
+        assert np.array_equal(a2["out"], a1["out"])
+
+    def test_interleaved_double_store_is_layout_fallback(self):
+        b = ProgramBuilder(4)
+        v = b.load(b.mem(Affine.var("x")))
+        b.store(v, b.mem(Affine.var("x"), array="out"))
+        b.store(v, b.mem(Affine.var("x", const=2), array="out"))
+        prog = b.build(name="dbl", scheme="t",
+                       loops=[Loop("x", 0, 16, 4)], vectors_per_iter=1)
+        arrays = {"a": np.arange(24.0), "out": np.zeros(24)}
+        with pytest.raises(CodegenFallback) as ei:
+            CodegenProgram(prog).specialize(arrays)
+        assert ei.value.reason == "layout"
+
+
+class TestShuffleEmission:
+    def test_single_source_shuffle_is_one_gather(self):
+        b = ProgramBuilder(4)
+        v = b.load(b.mem(Affine.var("x")))
+        s = b.shufpd(v, v, 0b0101)
+        b.store(s, b.mem(Affine.var("x"), array="out"))
+        prog = b.build(name="sh1", scheme="t",
+                       loops=[Loop("x", 0, 16, 4)], vectors_per_iter=1)
+        arrays = {"a": np.arange(16.0), "out": np.zeros(16)}
+        src = emitted_source(prog, arrays)
+        assert re.search(r"_v\d+\[\.\.\., _K\d+\]", src), src
+
+        def factory():
+            return {"a": np.arange(16.0) + 0.5, "out": np.zeros(16)}
+        a1, a2 = _run_both(prog, factory)
+        assert np.array_equal(a2["out"], a1["out"])
+
+    def test_lane_zeroing_shuffle(self):
+        """vperm2f128's zero bit (a ``None`` selector) must emit the
+        explicit zero-column fill."""
+        b = ProgramBuilder(4)
+        v = b.load(b.mem(Affine.var("x")))
+        z = b.lane_concat(v, v, (None, 0))
+        b.store(z, b.mem(Affine.var("x"), array="out"))
+        prog = b.build(name="shz", scheme="t",
+                       loops=[Loop("x", 0, 16, 4)], vectors_per_iter=1)
+        arrays = {"a": np.arange(16.0), "out": np.zeros(16)}
+        src = emitted_source(prog, arrays)
+        assert "= 0.0" in src, src
+
+        def factory():
+            return {"a": np.arange(16.0) + 1.0, "out": np.ones(16)}
+        a1, a2 = _run_both(prog, factory)
+        assert np.array_equal(a2["out"], a1["out"])
+
+    def test_shuffle_of_broadcast_constant(self):
+        b = ProgramBuilder(4)
+        c = b.broadcast(2.5)
+        v = b.load(b.mem(Affine.var("x")))
+        s = b.shufpd(c, c, 0)
+        r = b.mul(s, v)
+        b.store(r, b.mem(Affine.var("x"), array="out"))
+        prog = b.build(name="shc", scheme="t",
+                       loops=[Loop("x", 0, 16, 4)], vectors_per_iter=1)
+
+        def factory():
+            return {"a": np.arange(16.0), "out": np.zeros(16)}
+        a1, a2 = _run_both(prog, factory)
+        assert np.array_equal(a2["out"], a1["out"])
+
+    def test_sub_op(self):
+        b = ProgramBuilder(4)
+        v0 = b.load(b.mem(Affine.var("x")))
+        v1 = b.load(b.mem(Affine.var("x", const=1)))
+        b.emit(Instr(Op.SUB, dst="d", srcs=(v1, v0)))
+        b.store("d", b.mem(Affine.var("x"), array="out"))
+        prog = b.build(name="sub", scheme="t",
+                       loops=[Loop("x", 0, 16, 4)], vectors_per_iter=1)
+
+        def factory():
+            return {"a": np.arange(20.0) ** 2, "out": np.zeros(16)}
+        a1, a2 = _run_both(prog, factory)
+        assert np.array_equal(a2["out"], a1["out"])

@@ -8,11 +8,12 @@ steps on the cycle-exact SIMD interpreter and compared against the numpy
 reference sweep within a small ulp budget (the schemes reassociate the
 same sums, so bitwise equality is only expected up to rounding).  Every
 case additionally runs on the batched execution backend
-(:mod:`repro.machine.batch`), which must match the interpreter
-**bitwise** — both backends execute the same instruction stream, so no
-rounding slack is allowed between them.  A separate axis re-runs cases
-with observability recording enabled (:mod:`repro.obs`) and asserts that
-tracing never perturbs either backend's output bitwise.
+(:mod:`repro.machine.batch`) **and** the emitted-source codegen backend
+(:mod:`repro.machine.codegen`), which must both match the interpreter
+**bitwise** — all three backends execute the same instruction stream, so
+no rounding slack is allowed between them.  A separate axis re-runs
+cases with observability recording enabled (:mod:`repro.obs`) and
+asserts that tracing never perturbs any backend's output bitwise.
 
 The example budget is controlled by ``REPRO_DIFF_EXAMPLES`` (per test
 function; each example exercises all three schemes).  The local default
@@ -100,9 +101,10 @@ def _assert_ulp_close(got: np.ndarray, want: np.ndarray, *, spec, steps,
 
 def _differential_case(machine, dtype, spec, steps, seed):
     """Run every scheme for one random case against the reference, on
-    both execution backends.  The interpreter and the batched engine must
-    agree **bitwise** (they execute the same instruction stream); only the
-    comparison against the numpy reference carries an ulp budget."""
+    all three execution backends.  The interpreter, the batched engine
+    and the codegen engine must agree **bitwise** (they execute the same
+    instruction stream); only the comparison against the numpy reference
+    carries an ulp budget."""
     width = machine.vector_elems
     nx = 6 * width  # divisible by every scheme block (W and 2W)
     shape = (3,) * (spec.ndim - 1) + (nx,)
@@ -114,11 +116,12 @@ def _differential_case(machine, dtype, spec, steps, seed):
             reference = apply_steps(spec, grid, steps)
         program = generate(scheme, spec, machine, grid)
         got = run_program(program, grid, steps, backend="interp")
-        batch = run_program(program, grid, steps, backend="batch")
-        assert np.array_equal(batch.data, got.data), (
-            f"{scheme}/{spec.tag}: batch backend diverged bitwise from "
-            f"the interpreter after {steps} step(s)"
-        )
+        for backend in ("batch", "codegen"):
+            other = run_program(program, grid, steps, backend=backend)
+            assert np.array_equal(other.data, got.data), (
+                f"{scheme}/{spec.tag}: {backend} backend diverged bitwise "
+                f"from the interpreter after {steps} step(s)"
+            )
         _assert_ulp_close(got.interior, reference.interior, spec=spec,
                           steps=steps, scheme=scheme)
 
@@ -192,7 +195,7 @@ def test_tracing_never_changes_results(spec, steps, seed):
     grid = Grid.random(shape, halo, seed=seed)
     program = generate("jigsaw", spec, machine, grid)
     plain = {b: run_program(program, grid, steps, backend=b)
-             for b in ("interp", "batch")}
+             for b in ("interp", "batch", "codegen")}
     was_enabled = obs.enabled()
     obs.enable(reset=True)
     try:
@@ -206,7 +209,7 @@ def test_tracing_never_changes_results(spec, steps, seed):
         if not was_enabled:
             obs.disable()
     snap = obs.snapshot()
-    assert snap["metrics"]["counters"].get("exec.sweeps", 0) >= 2 * steps
+    assert snap["metrics"]["counters"].get("exec.sweeps", 0) >= 3 * steps
 
 
 # -- the chaos axis ------------------------------------------------------------
@@ -288,6 +291,53 @@ def test_batch_fault_degrades_to_interp_bitwise(spec, rules, steps, seed):
             f"{spec.tag}/{backend}: batch-closure fault recovery diverged "
             f"bitwise (plan: {[r.to_dict() for r in rules]})"
         )
+
+
+codegen_fault_rules = st.lists(
+    st.builds(
+        FaultRule,
+        site=st.sampled_from(("compile.kernel", "exec.codegen_kernel")),
+        kind=st.sampled_from(("raise", "delay")),
+        after=st.integers(min_value=0, max_value=3),
+        times=st.integers(min_value=1, max_value=2),
+        delay_s=st.just(0.001),
+    ),
+    min_size=1, max_size=2)
+
+
+@CHAOS_SETTINGS
+@given(spec=random_specs, rules=codegen_fault_rules,
+       steps=st.integers(min_value=1, max_value=3),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_codegen_fault_degrades_down_ladder_bitwise(spec, rules, steps,
+                                                    seed):
+    """Random faults over the codegen path — at kernel compilation
+    (``compile.kernel``, retried by the service) and at the emitted-source
+    sweep (``exec.codegen_kernel``, degraded to the batch engine) — must
+    never perturb a bit of the final grid."""
+    from repro.service import KernelService
+    machine = GENERIC_AVX2
+    # non-x extents must fit the fused halo (radius x time_fusion)
+    shape = (8,) * (spec.ndim - 1) + (6 * machine.vector_elems,)
+
+    def service():
+        # a fresh service per run keeps its kernel cache cold, so the
+        # faulted compile actually reaches the compile.kernel site
+        return KernelService(machine, exec_backend="codegen",
+                             failure_policy="degrade", retries=3,
+                             retry_backoff_s=0.0)
+
+    kernel = service().compile(spec, shape)
+    grid = kernel.grid_like(shape, seed=seed)
+    run_steps = steps * kernel.plan.time_fusion
+    clean = kernel.run(grid, run_steps)
+    with inject(FaultPlan(rules=tuple(rules), seed=seed)):
+        faulted_kernel = service().compile(spec, shape)
+        faulted = faulted_kernel.run(grid, run_steps)
+    assert np.array_equal(clean.data, faulted.data), (
+        f"{spec.tag}: codegen-path fault recovery diverged bitwise "
+        f"(plan: {[r.to_dict() for r in rules]})"
+    )
 
 
 def test_known_failure_is_caught():

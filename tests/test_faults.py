@@ -419,13 +419,29 @@ class TestDriverHardening:
         k = svc.compile(SPEC, (32, 32))
         g = k.grid_like((32, 32), seed=9)
         steps = 2 * k.plan.time_fusion
-        clean = k.run(g, steps)
+        clean = k.run(g, steps, backend="batch")
         with inject(_plan(FaultRule("exec.batch_closure"))) as inj:
-            faulted = k.run(g, steps)
+            faulted = k.run(g, steps, backend="batch")
         assert inj.injected_by_site()["exec.batch_closure"] == 1
         assert np.array_equal(clean.data, faulted.data)
         counters = obs.snapshot()["metrics"]["counters"]
         assert counters["exec.batch_fallback.reason.fault"] == 1
+
+    def test_codegen_fault_degrades_to_batch_bitwise(self, observing):
+        """A fault at the codegen site must degrade to the batch engine
+        (the next ladder rung), not to the interpreter directly."""
+        svc = KernelService(GENERIC_AVX2)
+        k = svc.compile(SPEC, (32, 32))
+        g = k.grid_like((32, 32), seed=9)
+        steps = 2 * k.plan.time_fusion
+        clean = k.run(g, steps)
+        with inject(_plan(FaultRule("exec.codegen_kernel"))) as inj:
+            faulted = k.run(g, steps)
+        assert inj.injected_by_site()["exec.codegen_kernel"] == 1
+        assert np.array_equal(clean.data, faulted.data)
+        counters = obs.snapshot()["metrics"]["counters"]
+        assert counters["exec.codegen_fallback.reason.fault"] == 1
+        assert "exec.batch_fallback" not in counters
 
 
 class TestTunerHardening:

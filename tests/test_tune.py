@@ -1,6 +1,8 @@
-"""Tests for the autotuning subsystem (:mod:`repro.tune`): search-space
-legality, budget validation, database robustness, end-to-end search with
-persistent winners, and the planner/compile/service integration."""
+"""Tests for the autotuning subsystem: the empirical tuner
+(:mod:`repro.tune` — search-space legality, budget validation, database
+robustness, end-to-end search with persistent winners, and the
+planner/compile/service integration) and the analytic model-driven tuner
+(:mod:`repro.tuning`, the last section)."""
 
 import json
 import os
@@ -357,3 +359,96 @@ class TestIntegration:
         k, = svc.compile_many([CompileRequest(HEAT1D, (256,))])
         assert k.plan.time_fusion == auto_fusion(HEAT1D, MACHINE)
         assert svc.stats()["tuning_entries"] == 0
+
+
+# ---------------------------------------------------------------------------
+# the model-driven tuner (repro.tuning) — the analytic counterpart of the
+# empirical search above, shared through candidate_tiles/candidate_depths
+# (merged from the former tests/test_tuning.py)
+# ---------------------------------------------------------------------------
+
+from repro.config import AMD_EPYC_7V13  # noqa: E402
+from repro.errors import ModelError  # noqa: E402
+from repro.tuning import (  # noqa: E402
+    TuneResult,
+    autotune,
+    candidate_depths,
+    candidate_tiles,
+)
+
+
+class TestModelCandidates:
+    def test_tiles_cover_axes(self):
+        tiles = candidate_tiles((256, 1024))
+        assert all(len(t) == 2 for t in tiles)
+        assert (256, 1024) in tiles  # the untiled option
+        assert all(t[0] <= 256 and t[1] <= 1024 for t in tiles)
+
+    def test_depths_respect_tessellation_bound(self):
+        spec = library.get("star-2d9p")  # r=2
+        depths = candidate_depths(spec, (64, 64))
+        assert depths[0] == 1
+        assert max(depths) == 64 // 4
+        assert all(2 * 2 * d <= 64 for d in depths)
+
+    def test_depths_for_radius3(self):
+        spec = library.get("star-1d7p")
+        assert max(candidate_depths(spec, (60,))) == 10
+
+
+class TestModelAutotune:
+    @pytest.fixture(scope="class")
+    def tuned(self):
+        return autotune(library.get("box-2d9p"), AMD_EPYC_7V13,
+                        problem_size=(2048, 2048), steps=100)
+
+    def test_returns_ranked_candidates(self, tuned: TuneResult):
+        gs = [c.gstencil_s for c in tuned.ranking]
+        assert gs == sorted(gs, reverse=True)
+        assert tuned.best is tuned.ranking[0]
+        assert tuned.evaluated > 10
+
+    def test_best_beats_untiled(self, tuned: TuneResult):
+        untiled = next(c for c in tuned.ranking
+                       if c.tile_shape == (2048, 2048) and c.time_depth == 1)
+        assert tuned.best.gstencil_s >= untiled.gstencil_s
+
+    def test_best_uses_time_tiling(self, tuned: TuneResult):
+        # memory-bound stencils want temporal reuse
+        assert tuned.best.time_depth > 1
+
+    def test_summary_text(self, tuned: TuneResult):
+        text = tuned.summary()
+        assert "GStencil/s" in text and "Tb=" in text
+
+    def test_infeasible_schemes_skipped(self):
+        # t4-jigsaw cannot lower 2-D kernels; the tuner must survive
+        result = autotune(library.get("heat-2d"), AMD_EPYC_7V13,
+                          problem_size=(512, 512), steps=10,
+                          schemes=("jigsaw", "t4-jigsaw"))
+        assert all(c.scheme == "jigsaw" for c in result.ranking)
+
+    def test_all_schemes_infeasible_raises(self):
+        with pytest.raises(ModelError):
+            autotune(library.get("heat-2d"), AMD_EPYC_7V13,
+                     problem_size=(512, 512), steps=10,
+                     schemes=("t4-jigsaw",))
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            autotune(library.get("heat-2d"), AMD_EPYC_7V13,
+                     problem_size=(512,), steps=10)
+        with pytest.raises(ModelError):
+            autotune(library.get("heat-2d"), AMD_EPYC_7V13,
+                     problem_size=(512, 512), steps=0)
+
+    def test_top_truncates(self):
+        result = autotune(library.get("heat-1d"), AMD_EPYC_7V13,
+                          problem_size=(1 << 16,), steps=10, top=3)
+        assert result.evaluated == 3
+
+    def test_explicit_tiles(self):
+        result = autotune(library.get("heat-1d"), AMD_EPYC_7V13,
+                          problem_size=(1 << 16,), steps=10,
+                          tiles=[(2048,)])
+        assert all(c.tile_shape == (2048,) for c in result.ranking)
