@@ -1,9 +1,15 @@
 """Importable benchmark helpers (kept out of conftest so tests/ and
 benchmarks/ can be collected in one pytest invocation)."""
 
+import json
+import time
 from contextlib import contextmanager
 
 from repro import obs
+
+#: default cap on run entries a ``BENCH_*.json`` history keeps (newest
+#: win); CI archives accumulate forever otherwise.
+HISTORY_CAP = 40
 
 
 def emit(title: str, body: str) -> None:
@@ -25,6 +31,52 @@ def observed():
     finally:
         if not was_enabled:
             obs.disable()
+
+
+def load_history(path: str) -> list:
+    """Prior runs from a ``BENCH_*.json`` artifact: a list of run
+    entries.  A legacy single-run dict is wrapped; unreadable files
+    start fresh."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            prior = json.load(fh)
+    except (OSError, ValueError):
+        return []
+    if isinstance(prior, dict):
+        return [prior]
+    if isinstance(prior, list):
+        return [e for e in prior if isinstance(e, dict)]
+    return []
+
+
+def _entry_key(entry: dict) -> str:
+    """Canonical content of a run entry with the timestamp excluded."""
+    return json.dumps({k: v for k, v in entry.items() if k != "timestamp"},
+                      sort_keys=True, default=repr)
+
+
+def append_history(path: str, entry: dict, *, cap: int = HISTORY_CAP) -> list:
+    """Append a timestamped run ``entry`` to the artifact at ``path``.
+
+    Two guards keep the history useful instead of unbounded: an entry
+    byte-identical (timestamp aside) to the newest prior run is dropped —
+    re-running an unchanged benchmark in one session should not inflate
+    the file — and the history is trimmed to the newest ``cap`` entries.
+    Returns the written history."""
+    if cap < 1:
+        raise ValueError("cap must be >= 1")
+    entry = dict(entry)
+    entry.setdefault("timestamp", time.strftime("%Y-%m-%dT%H:%M:%S%z"))
+    history = load_history(path)
+    if history and _entry_key(history[-1]) == _entry_key(entry):
+        history[-1] = entry  # refresh the timestamp only
+    else:
+        history.append(entry)
+    history = history[-cap:]
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(history, fh, indent=2)
+        fh.write("\n")
+    return history
 
 
 def attach_stages(data: dict) -> dict:

@@ -12,8 +12,9 @@ codegen engine — and asserts their contracts:
 
 Appends a timestamped run entry to ``BENCH_machine.json`` (path
 overridable via ``BENCH_MACHINE_JSON``) — the artifact is a list of runs,
-newest last, so CI archives build up a perf history instead of
-overwriting it; a legacy single-run dict is folded in as the first entry.
+newest last, capped and deduplicated by
+:func:`_bench_utils.append_history` so CI archives build up a bounded
+perf history; a legacy single-run dict is folded in as the first entry.
 Runs under pytest
 (``pytest benchmarks/bench_machine.py -s``) or stand-alone
 (``python benchmarks/bench_machine.py``).
@@ -21,7 +22,6 @@ Runs under pytest
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -30,7 +30,7 @@ import numpy as np
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-from _bench_utils import attach_stages, emit, observed  # noqa: E402
+from _bench_utils import append_history, attach_stages, emit, observed  # noqa: E402
 
 from repro.config import GENERIC_AVX2  # noqa: E402
 from repro.schemes import generate, scheme_halo  # noqa: E402
@@ -127,29 +127,9 @@ def measure() -> dict:
     return data
 
 
-def _load_history(path: str) -> list:
-    """Prior runs from the artifact: a list of run entries.  A legacy
-    single-run dict is wrapped; unreadable files start fresh."""
-    try:
-        with open(path, "r", encoding="utf-8") as fh:
-            prior = json.load(fh)
-    except (OSError, ValueError):
-        return []
-    if isinstance(prior, dict):
-        return [prior]
-    if isinstance(prior, list):
-        return [e for e in prior if isinstance(e, dict)]
-    return []
-
-
 def _report(data: dict) -> None:
     path = _artifact_path()
-    data["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
-    history = _load_history(path)
-    history.append(data)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(history, fh, indent=2)
-        fh.write("\n")
+    append_history(path, data)  # capped, consecutive-duplicate-free
     emit(
         "Machine backends: codegen vs batch vs interpreter",
         "\n".join([

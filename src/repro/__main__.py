@@ -266,12 +266,21 @@ def _cmd_run_inner(args) -> int:
     spec = library.get(args.kernel)
     if args.tuned and args.scheme:
         raise ReproError("--tuned and --scheme are mutually exclusive")
+    if args.temporal_block is not None and args.shards is None:
+        raise ReproError("--temporal-block requires --shards N")
+    if args.shards is not None and args.tuned:
+        raise ReproError("--shards and --tuned are mutually exclusive "
+                         "(tune the shard engine via `repro tune` instead)")
     cache = None
     if args.cache_dir:
         cache = configure_default_cache(args.cache_dir)
     dtype = np.float32 if machine.element_bytes == 4 else np.float64
 
     if args.scheme is not None and args.scheme not in _JIGSAW_RUN_OPTIONS:
+        if args.shards is not None:
+            raise ReproError(
+                "--shards runs the jigsaw compile pipeline; baseline "
+                "schemes cannot be sharded")
         # baseline schemes execute their generated program on the SIMD
         # machine (the numpy fast path only knows jigsaw plans), so the
         # default --backend numpy silently means machine/auto here
@@ -313,6 +322,19 @@ def _cmd_run_inner(args) -> int:
             _report_run(spec, args.size, args.steps, dt, "tiled executor",
                         f"tuned: {tuned_cfg.label()}")
             return 0
+        if tuned_cfg.engine == "shard":
+            from .parallel.executor import run_parallel
+            grid = Grid.random(args.size, spec.radius, seed=0, dtype=dtype)
+            t0 = time.perf_counter()
+            run_parallel(spec, grid, args.steps,
+                         shards=tuned_cfg.shards,
+                         temporal_block=tuned_cfg.temporal_block,
+                         workers=tuned_cfg.shards,
+                         backend=tuned_cfg.run_backend)
+            dt = time.perf_counter() - t0
+            _report_run(spec, args.size, args.steps, dt, "shard executor",
+                        f"tuned: {tuned_cfg.label()}")
+            return 0
         backend_flag = ("numpy" if tuned_cfg.engine == "numpy"
                         else tuned_cfg.exec_backend)
         plan_kwargs = {"tuned": tuned_cfg}
@@ -326,6 +348,22 @@ def _cmd_run_inner(args) -> int:
     kernel = compile_kernel(spec, machine, grid, backend=exec_backend,
                             **plan_kwargs)
     steps = args.steps - args.steps % kernel.plan.time_fusion
+    if args.shards is not None:
+        # sharded execution always drives the compiled pipeline in the
+        # workers; --backend numpy (the default) means auto here, the
+        # same mapping the baseline-scheme path uses
+        exec_b = None if backend_flag == "numpy" else backend_flag
+        s = (args.temporal_block if args.temporal_block is not None
+             else kernel.plan.time_fusion)
+        t0 = time.perf_counter()
+        kernel.run_sharded(grid, steps, shards=args.shards,
+                           temporal_block=args.temporal_block,
+                           executor=args.shard_executor, backend=exec_b)
+        dt = time.perf_counter() - t0
+        _report_run(spec, args.size, steps, dt,
+                    f"shard[{args.shards}]/{args.shard_executor}",
+                    f"s={s}, plan: {kernel.plan.describe()}")
+        return 0
     t0 = time.perf_counter()
     if backend_flag == "numpy":
         kernel.run_numpy(grid, steps)
@@ -496,7 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default=None, choices=EXEC_BACKENDS,
                    help="restrict the SIMD-machine engine to one execution "
                         "backend (default: search auto, batch and interp)")
-    p.add_argument("--engines", default="machine,numpy,tiled",
+    p.add_argument("--engines", default="machine,numpy,tiled,shard",
                    help="comma-separated engine families to search "
                         "(default: %(default)s)")
     p.add_argument("--db-dir", default=None,
@@ -544,6 +582,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-json", default=None, metavar="PATH",
                    help="write the observability snapshot (spans + "
                         "metrics) to PATH as JSON (implies recording)")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="shard the outer axis into N slabs and run them "
+                        "on a worker pool with halo exchange at each "
+                        "synchronization point (bitwise identical to the "
+                        "unsharded engines)")
+    p.add_argument("--temporal-block", type=int, default=None, metavar="S",
+                   help="sub-steps per halo exchange under --shards "
+                        "(deeper halos, fewer barriers; default: the "
+                        "plan's fused depth)")
+    p.add_argument("--shard-executor", default="process",
+                   choices=("thread", "process"),
+                   help="worker pool backend for --shards "
+                        "(default: %(default)s)")
     p.add_argument("--fault-plan", default=None, metavar="PATH",
                    help="inject the faults described by this JSON plan "
                         "during the run (see docs/architecture.md, "

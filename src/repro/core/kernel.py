@@ -98,6 +98,38 @@ class CompiledKernel:
                            value=value,
                            backend=backend or self.exec_backend())
 
+    def run_sharded(self, grid: Grid, steps: int, *,
+                    shards: int,
+                    temporal_block: Optional[int] = None,
+                    executor: str = "process",
+                    boundary: str = "periodic", value: float = 0.0,
+                    backend: Optional[str] = None,
+                    workers: Optional[int] = None,
+                    retries: int = 2, pool_restarts: int = 2) -> Grid:
+        """Sharded execution: the outer axis is partitioned into ``shards``
+        slabs, each advanced by this kernel's compiled pipeline in its own
+        worker, with deep-halo exchange every ``temporal_block`` sub-steps
+        (default: the plan's fused depth, i.e. one exchange per fused
+        sweep).  Bitwise identical to :meth:`run` on the interior."""
+        from ..shard.runner import run_sharded
+        from ..shard.worker import KernelRecipe
+        if grid.shape != self.grid.shape:
+            raise VectorizeError(
+                f"grid shape {grid.shape} does not match the compiled "
+                f"shape {self.grid.shape}")
+        recipe = KernelRecipe(
+            spec=self.plan.spec, machine=self.machine,
+            time_fusion=self.plan.time_fusion, use_sdf=self.plan.use_sdf,
+            exec_backend=backend or self.exec_backend())
+        return run_sharded(
+            self.plan.spec, grid, steps, shards=shards,
+            temporal_block=(temporal_block if temporal_block is not None
+                            else self.plan.time_fusion),
+            executor=executor, workers=workers, boundary=boundary,
+            value=value, recipe=recipe,
+            exec_backend=backend or self.exec_backend(),
+            retries=retries, pool_restarts=pool_restarts)
+
     def run_numpy(self, grid: Grid, steps: int, *, boundary: str = "periodic",
                   value: float = 0.0) -> Grid:
         """Fast numpy execution of the same (fused, flattened) algorithm."""

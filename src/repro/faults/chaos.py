@@ -44,6 +44,7 @@ CHAOS_SITE_KINDS: Dict[str, Tuple[str, ...]] = {
     "exec.batch_closure": ("raise", "delay"),
     "exec.codegen_kernel": ("raise", "delay"),
     "pool.task_start": ("raise", "delay", "kill"),
+    "shard.exchange": ("raise", "delay"),
     "tile.sweep": ("raise", "delay"),
 }
 
@@ -139,6 +140,9 @@ TAXONOMY_PREFIXES = (
     "parallel.task_retries",
     "parallel.pool_restarts",
     "parallel.fallback",
+    "shard.exchange_retries",
+    "shard.task_retries",
+    "shard.pool_restarts",
     "cache.disk_quarantined",
     "cache.disk_write_faults",
     "exec.batch_fallback",
@@ -186,6 +190,13 @@ def _workload(spec: StencilSpec, machine: MachineConfig, cache_dir: str,
         g = Grid.random(size, spec.radius, seed=data_seed)
         out = svc.run(SweepJob(spec, g, steps))
         results[f"sweep.{backend}"] = out.interior.copy()
+        # the sharded path: 2 slabs with deep halos.  Gathers fire once
+        # per shard per superstep, and randomized rules may skip up to 3
+        # hits (after < 4), so the block size is dropped to 1 when the
+        # step count is too small to reach 4 supersteps-worth of hits.
+        tb = 2 if steps >= 4 else 1
+        out = svc.run(SweepJob(spec, g, steps, shards=2, temporal_block=tb))
+        results[f"shard.{backend}"] = out.interior.copy()
     return results
 
 

@@ -45,6 +45,7 @@ SITES = (
     "exec.batch_closure",  #: one batched sweep on the SIMD machine
     "exec.codegen_kernel",  #: one emitted-source sweep (codegen engine)
     "pool.task_start",     #: a parallel-executor task beginning
+    "shard.exchange",      #: one shard's halo-window gather
     "tile.sweep",          #: one tile's Jacobi sweep
 )
 

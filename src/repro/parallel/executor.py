@@ -36,6 +36,8 @@ doubles as a recovery checkpoint.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import List, Optional, Sequence, Tuple
@@ -52,6 +54,32 @@ from ..tiling.schedule import TileSchedule, build_schedule
 
 #: executor backends accepted by :func:`run_parallel`.
 BACKENDS: Tuple[str, ...] = ("thread", "process")
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The pinned multiprocessing context every process pool uses.
+
+    Defaults to ``forkserver`` where available, else ``spawn`` — both are
+    spawn-safe: workers start from a fresh interpreter, so nothing leaks
+    in by fork (an inherited fault injector, a half-held lock) and tasks
+    must be picklable, which is exactly the contract the fault-shipping
+    protocol and the shard runner rely on.  ``fork`` made all of that
+    platform-dependent (macOS/Windows never had it for pools).
+
+    ``REPRO_MP_START`` overrides the method (``fork`` included, for
+    benchmarking against the cheaper-but-unsafe default).
+    """
+    method = os.environ.get("REPRO_MP_START")
+    if not method:
+        method = ("forkserver"
+                  if "forkserver" in multiprocessing.get_all_start_methods()
+                  else "spawn")
+    if method not in multiprocessing.get_all_start_methods():
+        raise TilingError(
+            f"unsupported start method {method!r} (REPRO_MP_START); "
+            f"available: {multiprocessing.get_all_start_methods()}"
+        )
+    return multiprocessing.get_context(method)
 
 
 def apply_tile(spec: StencilSpec, grid: Grid, out: Grid, tile: Tile) -> None:
@@ -106,11 +134,13 @@ class _PoolBox:
 
     def __init__(self, workers: int) -> None:
         self.workers = workers
-        self.pool = ProcessPoolExecutor(max_workers=workers)
+        self.pool = ProcessPoolExecutor(max_workers=workers,
+                                        mp_context=pool_context())
 
     def restart(self) -> None:
         self.pool.shutdown(wait=False, cancel_futures=True)
-        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+        self.pool = ProcessPoolExecutor(max_workers=self.workers,
+                                        mp_context=pool_context())
 
     def shutdown(self) -> None:
         self.pool.shutdown()
@@ -217,6 +247,8 @@ def run_parallel(
     backend: str = "thread",
     retries: int = 2,
     pool_restarts: int = 2,
+    shards: Optional[int] = None,
+    temporal_block: int = 1,
 ) -> Grid:
     """``steps`` parallel Jacobi sweeps; returns a new grid.
 
@@ -228,9 +260,31 @@ def run_parallel(
     failed tile; ``pool_restarts`` bounds process-pool resurrections
     after a worker loss (past it, the parent computes remaining tiles
     itself).  Every recovery path is bitwise identical to a clean run.
+
+    ``shards=N`` switches to the halo-exchange shard runner
+    (:mod:`repro.shard`): the grid is partitioned into N outer-axis
+    slabs, each swept privately with ghost rows exchanged at every
+    synchronization point; ``temporal_block=s`` widens the exchanged
+    halo to ``radius*s`` so ``s`` sweeps run per exchange.  Interiors
+    stay bitwise identical to the unsharded path.
     """
     if steps < 0:
         raise TilingError("steps must be non-negative")
+    if shards is None and temporal_block != 1:
+        raise TilingError("temporal_block requires shards=N")
+    if shards is not None:
+        if tile_shape is not None or schedule is not None:
+            raise TilingError(
+                "shards= is mutually exclusive with tile_shape/schedule "
+                "(shards partition the outer axis themselves)"
+            )
+        from ..shard.runner import run_sharded  # lazy: avoids an import cycle
+        return run_sharded(
+            spec, grid, steps, shards=shards,
+            temporal_block=temporal_block, executor=backend,
+            workers=workers, boundary=boundary, value=value,
+            retries=retries, pool_restarts=pool_restarts,
+        )
     if workers < 1:
         raise TilingError("workers must be >= 1")
     if backend not in BACKENDS:

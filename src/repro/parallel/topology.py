@@ -1,17 +1,22 @@
-"""Core placement across sockets.
+"""Core placement across sockets, and outer-axis shard topology.
 
 The paper's Intel scalability runs alternate cores between the two NUMA
 domains to average out remote-access latency (§4.5); the resulting remote
 traffic share is what the multicore model charges the NUMA penalty on.
+
+:func:`partition_axis` / :func:`shard_neighbors` are the integer geometry
+behind :mod:`repro.shard`: contiguous slabs along the outermost axis with
+the remainder spread over the leading slabs, and the ring (periodic) or
+chain (dirichlet) neighbor relation the halo exchange follows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..config import MachineConfig
-from ..errors import ModelError
+from ..errors import ModelError, TilingError
 
 
 @dataclass(frozen=True)
@@ -61,3 +66,59 @@ def allocate_cores(machine: MachineConfig, cores: int,
     if any(c > machine.cores_per_socket for c in per):
         raise ModelError("allocation exceeds per-socket core count")
     return CoreAllocation(machine=machine, cores=cores, per_socket=tuple(per))
+
+
+@dataclass(frozen=True)
+class ShardSlab:
+    """One contiguous outer-axis slab ``[start, stop)`` of a partition."""
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def rows(self) -> int:
+        return self.stop - self.start
+
+
+def partition_axis(extent: int, shards: int) -> Tuple[ShardSlab, ...]:
+    """Split ``extent`` rows into ``shards`` contiguous slabs.
+
+    The remainder is spread over the leading slabs (the first
+    ``extent % shards`` slabs get one extra row), so slab sizes differ by
+    at most one and the partition is deterministic.
+    """
+    if shards < 1:
+        raise TilingError("shards must be >= 1")
+    if extent < shards:
+        raise TilingError(
+            f"cannot split {extent} rows into {shards} shards "
+            "(every shard needs at least one row)"
+        )
+    base, rem = divmod(extent, shards)
+    slabs = []
+    start = 0
+    for i in range(shards):
+        rows = base + (1 if i < rem else 0)
+        slabs.append(ShardSlab(index=i, start=start, stop=start + rows))
+        start += rows
+    return tuple(slabs)
+
+
+def shard_neighbors(index: int, shards: int, *,
+                    periodic: bool = True
+                    ) -> Tuple[Optional[int], Optional[int]]:
+    """The ``(low, high)`` neighbor indices of shard ``index``.
+
+    Periodic partitions form a ring (a single shard is its own neighbor);
+    non-periodic ones form a chain with ``None`` past the domain edges.
+    """
+    if shards < 1:
+        raise TilingError("shards must be >= 1")
+    if not 0 <= index < shards:
+        raise TilingError(f"shard index {index} outside [0, {shards})")
+    if periodic:
+        return ((index - 1) % shards, (index + 1) % shards)
+    lo = index - 1 if index > 0 else None
+    hi = index + 1 if index + 1 < shards else None
+    return (lo, hi)

@@ -76,7 +76,9 @@ class CompileRequest:
 @dataclass(frozen=True)
 class SweepJob:
     """One batch-execution job: ``steps`` Jacobi sweeps of ``spec`` over
-    ``grid`` on the tiled executor."""
+    ``grid`` — tiled across the executor by default, or sharded along the
+    outer axis (``shards=N``) with halo exchange every ``temporal_block``
+    sub-steps."""
 
     spec: StencilSpec
     grid: Grid
@@ -84,6 +86,19 @@ class SweepJob:
     boundary: str = "periodic"
     value: float = 0.0
     tile_shape: Optional[Tuple[int, ...]] = field(default=None)
+    shards: Optional[int] = field(default=None)
+    temporal_block: int = 1
+
+    def __post_init__(self) -> None:
+        if self.shards is not None and self.tile_shape is not None:
+            raise ReproError(
+                "shards= is mutually exclusive with tile_shape=")
+        if self.shards is not None and self.shards < 1:
+            raise ReproError("shards must be >= 1")
+        if self.temporal_block < 1:
+            raise ReproError("temporal_block must be >= 1")
+        if self.shards is None and self.temporal_block != 1:
+            raise ReproError("temporal_block requires shards=N")
 
 
 class KernelService:
@@ -352,6 +367,8 @@ class KernelService:
             result = run_parallel(
                 job.spec, job.grid, job.steps,
                 tile_shape=job.tile_shape,
+                shards=job.shards,
+                temporal_block=job.temporal_block,
                 workers=self.run_workers if workers is None else workers,
                 boundary=job.boundary,
                 value=job.value,

@@ -55,6 +55,7 @@ WALLCLOCK_PRIORS: Dict[str, float] = {
     "machine/auto": 20.0,
     "numpy": 400.0,
     "tiled": 400.0,
+    "shard": 400.0,
 }
 
 
@@ -162,6 +163,14 @@ def model_score(
             est = model.estimate(model.kernel_cost(program),
                                  points=points,
                                  steps=trial_steps(config, steps))
+            return est.gstencil_s * prior
+        if config.engine == "shard":
+            est = MulticoreModel(machine).estimate(
+                model_cost("jigsaw", spec, machine), spec,
+                points=points, steps=steps,
+                cores=min(config.shards, machine.total_cores),
+                setup=ParallelSetup(time_depth=config.temporal_block),
+            )
             return est.gstencil_s * prior
         est = MulticoreModel(machine).estimate(
             model_cost("jigsaw", spec, machine), spec,
@@ -286,6 +295,16 @@ def measure(
                                backend=config.exec_backend)
                 else:
                     kernel.run_numpy(grid, steps_eff, boundary=boundary)
+        elif config.engine == "shard":
+            grid = Grid.random(shape, spec.radius, seed=seed, dtype=dtype)
+
+            def run_once() -> None:
+                run_parallel(spec, grid, steps_eff,
+                             shards=config.shards,
+                             temporal_block=config.temporal_block,
+                             workers=config.shards,
+                             boundary=boundary,
+                             backend=config.run_backend)
         else:
             grid = Grid.random(shape, spec.radius, seed=seed, dtype=dtype)
 

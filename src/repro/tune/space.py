@@ -15,7 +15,10 @@ of it.  Three execution engines exist today:
 * ``"tiled"`` — the parallel tile executor
   (:func:`repro.parallel.executor.run_parallel`), parameterized by the
   tile shape (from the :mod:`repro.tiling` ladder), the worker count and
-  the executor backend.
+  the executor backend;
+* ``"shard"`` — the sharded outer-axis executor
+  (:mod:`repro.shard`), parameterized by the shard count, the temporal
+  block (sub-steps per halo exchange) and the executor backend.
 
 :func:`enumerate_space` rejects illegal points up front — an ITM depth
 the butterfly window cannot cover (:func:`repro.core.itm.fusable`), a
@@ -39,10 +42,14 @@ from ..tuning import candidate_tiles
 from ..vectorize.driver import EXEC_BACKENDS
 
 #: the execution engines a configuration can select.
-ENGINES: Tuple[str, ...] = ("machine", "numpy", "tiled")
+ENGINES: Tuple[str, ...] = ("machine", "numpy", "tiled", "shard")
 
 #: ITM depths the space considers (filtered by :func:`fusable` per spec).
 FUSION_LADDER: Tuple[int, ...] = (1, 2, 4)
+
+#: temporal-block depths the shard engine considers (sub-steps per halo
+#: exchange; deeper blocks trade redundant ghost rows for fewer barriers).
+TEMPORAL_LADDER: Tuple[int, ...] = (1, 2, 4)
 
 
 @dataclass(frozen=True)
@@ -60,7 +67,9 @@ class TuneConfig:
     exec_backend: str = "auto"             #: machine engine only
     tile_shape: Optional[Tuple[int, ...]] = None  #: tiled engine only
     workers: int = 1                        #: tiled engine only
-    run_backend: str = "thread"             #: tiled engine only
+    run_backend: str = "thread"             #: tiled + shard engines
+    shards: int = 1                         #: shard engine only
+    temporal_block: int = 1                 #: shard engine only
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -87,6 +96,12 @@ class TuneConfig:
         if self.tile_shape is not None and any(
                 t < 1 for t in self.tile_shape):
             raise TuneError("tile extents must be >= 1")
+        if self.shards < 1:
+            raise TuneError("shards must be >= 1")
+        if self.temporal_block < 1:
+            raise TuneError("temporal_block must be >= 1")
+        if self.engine != "shard" and self.temporal_block != 1:
+            raise TuneError("temporal_block is a shard-engine field")
 
     # -- identity --------------------------------------------------------------
     @property
@@ -102,6 +117,13 @@ class TuneConfig:
                 "engine": self.engine,
                 "tile_shape": list(self.tile_shape),
                 "workers": self.workers,
+                "run_backend": self.run_backend,
+            }
+        if self.engine == "shard":
+            return {
+                "engine": self.engine,
+                "shards": self.shards,
+                "temporal_block": self.temporal_block,
                 "run_backend": self.run_backend,
             }
         out: Dict[str, Any] = {
@@ -121,7 +143,8 @@ class TuneConfig:
         if not isinstance(payload, dict):
             raise TuneError("configuration payload is not an object")
         known = {"engine", "time_fusion", "use_sdf", "exec_backend",
-                 "tile_shape", "workers", "run_backend"}
+                 "tile_shape", "workers", "run_backend", "shards",
+                 "temporal_block"}
         unknown = set(payload) - known
         if unknown:
             raise TuneError(f"unknown configuration fields {sorted(unknown)}")
@@ -153,6 +176,9 @@ class TuneConfig:
         if self.engine == "tiled":
             tile = "x".join(map(str, self.tile_shape))
             return f"tiled[{tile}] w={self.workers} {self.run_backend}"
+        if self.engine == "shard":
+            return (f"shard[{self.shards}] s={self.temporal_block} "
+                    f"{self.run_backend}")
         sdf = "sdf" if self.use_sdf else "no-sdf"
         if self.engine == "machine":
             return f"machine/{self.exec_backend} tf={self.time_fusion} {sdf}"
@@ -255,12 +281,28 @@ def enumerate_space(
                 for backend in run_backends:
                     add(TuneConfig(engine="tiled", tile_shape=tile,
                                    workers=workers, run_backend=backend))
+    if "shard" in engines:
+        # 1 shard duplicates the serial engines; the outer extent bounds
+        # the partition (one row per shard at least).  The ladder follows
+        # the *modeled* machine, not the host: shard workers are whole
+        # processes doing numpy sweeps (not GIL-bound tile dispatch), and
+        # the tuner ranks configurations for the target machine.
+        shard_cap = (max_workers if max_workers is not None
+                     else min(machine.total_cores, 8))
+        for shards in worker_ladder(shard_cap):
+            if shards == 1 or shards > shape[0]:
+                continue
+            for s in TEMPORAL_LADDER:
+                for backend in run_backends:
+                    add(TuneConfig(engine="shard", shards=shards,
+                                   temporal_block=s, run_backend=backend))
     return configs
 
 
 __all__ = [
     "ENGINES",
     "FUSION_LADDER",
+    "TEMPORAL_LADDER",
     "TuneConfig",
     "default_config",
     "enumerate_space",

@@ -1,0 +1,100 @@
+"""The ``BENCH_*.json`` history contract: append_history keeps the
+artifact bounded (newest ``cap`` entries) and drops consecutive
+duplicate runs instead of inflating the file every re-run."""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir,
+                                "benchmarks"))
+
+from _bench_utils import HISTORY_CAP, append_history, load_history  # noqa: E402
+
+
+def _read(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class TestLoadHistory:
+    def test_missing_file_starts_fresh(self, tmp_path):
+        assert load_history(str(tmp_path / "nope.json")) == []
+
+    def test_corrupt_file_starts_fresh(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json", encoding="utf-8")
+        assert load_history(str(p)) == []
+
+    def test_legacy_single_run_dict_is_wrapped(self, tmp_path):
+        p = tmp_path / "legacy.json"
+        p.write_text(json.dumps({"speedup": 3.0}), encoding="utf-8")
+        assert load_history(str(p)) == [{"speedup": 3.0}]
+
+    def test_non_dict_entries_are_dropped(self, tmp_path):
+        p = tmp_path / "mixed.json"
+        p.write_text(json.dumps([{"a": 1}, "junk", 7, {"b": 2}]),
+                     encoding="utf-8")
+        assert load_history(str(p)) == [{"a": 1}, {"b": 2}]
+
+
+class TestAppendHistory:
+    def test_appends_and_timestamps(self, tmp_path):
+        p = str(tmp_path / "bench.json")
+        append_history(p, {"speedup": 1.0})
+        hist = append_history(p, {"speedup": 2.0})
+        assert [e["speedup"] for e in hist] == [1.0, 2.0]
+        assert all("timestamp" in e for e in hist)
+        assert _read(p) == hist
+
+    def test_consecutive_duplicate_refreshes_instead_of_appending(
+            self, tmp_path):
+        p = str(tmp_path / "bench.json")
+        first = append_history(p, {"speedup": 1.5, "timestamp": "t0"})
+        again = append_history(p, {"speedup": 1.5, "timestamp": "t1"})
+        assert len(first) == 1 and len(again) == 1
+        assert again[0]["timestamp"] == "t1"  # refreshed, not kept
+
+    def test_duplicate_check_ignores_timestamp_only(self, tmp_path):
+        p = str(tmp_path / "bench.json")
+        append_history(p, {"speedup": 1.5})
+        hist = append_history(p, {"speedup": 1.6})
+        assert len(hist) == 2
+
+    def test_non_consecutive_duplicates_both_kept(self, tmp_path):
+        p = str(tmp_path / "bench.json")
+        append_history(p, {"speedup": 1.0})
+        append_history(p, {"speedup": 2.0})
+        hist = append_history(p, {"speedup": 1.0})
+        assert [e["speedup"] for e in hist] == [1.0, 2.0, 1.0]
+
+    def test_cap_keeps_newest(self, tmp_path):
+        p = str(tmp_path / "bench.json")
+        for i in range(7):
+            hist = append_history(p, {"run": i}, cap=3)
+        assert [e["run"] for e in hist] == [4, 5, 6]
+        assert [e["run"] for e in _read(p)] == [4, 5, 6]
+
+    def test_default_cap_bounds_the_file(self, tmp_path):
+        p = str(tmp_path / "bench.json")
+        for i in range(HISTORY_CAP + 5):
+            hist = append_history(p, {"run": i})
+        assert len(hist) == HISTORY_CAP
+        assert hist[-1]["run"] == HISTORY_CAP + 4
+
+    def test_cap_below_one_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            append_history(str(tmp_path / "bench.json"), {"a": 1}, cap=0)
+
+    def test_legacy_dict_artifact_folded_in(self, tmp_path):
+        p = tmp_path / "bench.json"
+        p.write_text(json.dumps({"speedup": 9.0}), encoding="utf-8")
+        hist = append_history(str(p), {"speedup": 10.0})
+        assert [e["speedup"] for e in hist] == [9.0, 10.0]
+
+    def test_input_entry_not_mutated(self, tmp_path):
+        entry = {"speedup": 1.0}
+        append_history(str(tmp_path / "bench.json"), entry)
+        assert entry == {"speedup": 1.0}

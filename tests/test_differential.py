@@ -14,6 +14,10 @@ case additionally runs on the batched execution backend
 no rounding slack is allowed between them.  A separate axis re-runs
 cases with observability recording enabled (:mod:`repro.obs`) and
 asserts that tracing never perturbs any backend's output bitwise.
+Further axes cover the hardened runtime layers: sharded execution
+(random shard counts and temporal blocks must reproduce the serial
+reference bitwise) and fault-injection chaos over the executor, batch,
+codegen and shard recovery paths.
 
 The example budget is controlled by ``REPRO_DIFF_EXAMPLES`` (per test
 function; each example exercises all three schemes).  The local default
@@ -336,6 +340,65 @@ def test_codegen_fault_degrades_down_ladder_bitwise(spec, rules, steps,
         faulted = faulted_kernel.run(grid, run_steps)
     assert np.array_equal(clean.data, faulted.data), (
         f"{spec.tag}: codegen-path fault recovery diverged bitwise "
+        f"(plan: {[r.to_dict() for r in rules]})"
+    )
+
+
+@CHAOS_SETTINGS
+@given(spec=random_specs,
+       shards=st.integers(min_value=1, max_value=3),
+       temporal_block=st.integers(min_value=1, max_value=3),
+       steps=st.integers(min_value=1, max_value=4),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_sharded_matches_serial_bitwise(spec, shards, temporal_block,
+                                        steps, seed):
+    """The sharded axis: random stencils, shard counts and temporal
+    blocks against the serial reference — the deep-halo schedule must
+    reproduce it **bitwise** on the interior (not ulp-close: the workers
+    run the identical tap order on identical windows)."""
+    from repro.shard import run_sharded
+    shape = (7,) * (spec.ndim - 1) + (12,)
+    grid = Grid.random(shape, spec.radius, seed=seed)
+    reference = apply_steps(spec, grid, steps)
+    got = run_sharded(spec, grid, steps, shards=shards,
+                      temporal_block=temporal_block)
+    assert np.array_equal(reference.interior, got.interior), (
+        f"{spec.tag}: sharded run (shards={shards}, s={temporal_block}) "
+        f"diverged bitwise after {steps} step(s)"
+    )
+
+
+shard_fault_rules = st.lists(
+    st.builds(
+        FaultRule,
+        site=st.sampled_from(("shard.exchange", "pool.task_start")),
+        kind=st.sampled_from(("raise", "delay")),
+        after=st.integers(min_value=0, max_value=5),
+        times=st.integers(min_value=1, max_value=2),
+        delay_s=st.just(0.001),
+    ),
+    min_size=1, max_size=3)
+
+
+@CHAOS_SETTINGS
+@given(rules=shard_fault_rules,
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_shard_fault_recovery_never_changes_results(rules, seed):
+    """Random fault plans over the shard runner's sites — a lost halo
+    exchange (regathered from the superstep checkpoint) or a failed shard
+    task (recomputed in the parent) — must leave the sharded sweep
+    bitwise identical to the clean run."""
+    from repro.shard import run_sharded
+    spec = star(2, 1, center=0.5, arm=[0.125], name="shard-chaos-probe")
+    grid = Grid.random((18, 24), spec.radius, seed=seed)
+    clean = run_sharded(spec, grid, 4, shards=3, temporal_block=2)
+    # 3 rules x times<=2 = 6 faults; retries=6 bounds the worst case of
+    # every fault landing on one shard's gather or task
+    with inject(FaultPlan(rules=tuple(rules), seed=seed)):
+        faulted = run_sharded(spec, grid, 4, shards=3, temporal_block=2,
+                              retries=6)
+    assert np.array_equal(clean.interior, faulted.interior), (
+        f"shard fault recovery diverged bitwise "
         f"(plan: {[r.to_dict() for r in rules]})"
     )
 

@@ -1,13 +1,16 @@
 """Tests for topology, the multicore model, and the real executor."""
 
+import multiprocessing
+
 import numpy as np
 import pytest
 
 from repro.config import AMD_EPYC_7V13, GENERIC_AVX2, INTEL_XEON_6230R
 from repro.errors import ModelError, TilingError
-from repro.parallel.executor import run_parallel
+from repro.parallel.executor import pool_context, run_parallel
 from repro.parallel.simulator import MulticoreModel, ParallelSetup
-from repro.parallel.topology import allocate_cores
+from repro.parallel.topology import (allocate_cores, partition_axis,
+                                     shard_neighbors)
 from repro.schemes import model_cost
 from repro.stencils import apply_steps, library
 from repro.stencils.grid import Grid
@@ -43,6 +46,85 @@ class TestTopology:
     def test_unknown_policy(self):
         with pytest.raises(ModelError):
             allocate_cores(AMD_EPYC_7V13, 2, policy="nope")
+
+
+class TestShardTopology:
+    def test_even_partition(self):
+        slabs = partition_axis(16, 4)
+        assert [s.rows for s in slabs] == [4, 4, 4, 4]
+        assert [(s.start, s.stop) for s in slabs] == [
+            (0, 4), (4, 8), (8, 12), (12, 16)]
+        assert [s.index for s in slabs] == [0, 1, 2, 3]
+
+    def test_remainder_spread_over_leading_slabs(self):
+        slabs = partition_axis(17, 5)
+        assert [s.rows for s in slabs] == [4, 4, 3, 3, 3]
+        # contiguous, gap-free cover of [0, extent)
+        assert slabs[0].start == 0 and slabs[-1].stop == 17
+        for a, b in zip(slabs, slabs[1:]):
+            assert a.stop == b.start
+
+    def test_degenerate_single_shard(self):
+        (slab,) = partition_axis(9, 1)
+        assert (slab.start, slab.stop, slab.rows) == (0, 9, 9)
+        assert shard_neighbors(0, 1) == (0, 0)  # its own ring neighbor
+        assert shard_neighbors(0, 1, periodic=False) == (None, None)
+
+    def test_one_row_per_shard(self):
+        slabs = partition_axis(3, 3)
+        assert [s.rows for s in slabs] == [1, 1, 1]
+
+    def test_partition_validation(self):
+        with pytest.raises(TilingError):
+            partition_axis(8, 0)
+        with pytest.raises(TilingError):
+            partition_axis(3, 4)  # more shards than rows
+
+    def test_ring_neighbors(self):
+        assert shard_neighbors(0, 4) == (3, 1)
+        assert shard_neighbors(2, 4) == (1, 3)
+        assert shard_neighbors(3, 4) == (2, 0)
+
+    def test_chain_neighbors(self):
+        assert shard_neighbors(0, 4, periodic=False) == (None, 1)
+        assert shard_neighbors(2, 4, periodic=False) == (1, 3)
+        assert shard_neighbors(3, 4, periodic=False) == (2, None)
+
+    def test_neighbor_validation(self):
+        with pytest.raises(TilingError):
+            shard_neighbors(4, 4)
+        with pytest.raises(TilingError):
+            shard_neighbors(-1, 4)
+        with pytest.raises(TilingError):
+            shard_neighbors(0, 0)
+
+
+class TestPoolContext:
+    """The process pool must be pinned to a spawn-safe start method:
+    fork copies the parent's locks/injector stack mid-state and is not
+    deterministic under threads, so the executor never relies on the
+    platform default."""
+
+    def test_default_is_spawn_safe(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MP_START", raising=False)
+        ctx = pool_context()
+        assert ctx.get_start_method() in ("forkserver", "spawn")
+        assert ctx.get_start_method() != "fork"
+
+    def test_env_override_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START", "spawn")
+        assert pool_context().get_start_method() == "spawn"
+
+    def test_unsupported_method_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START", "mpi")
+        with pytest.raises(TilingError):
+            pool_context()
+
+    def test_fork_allowed_as_explicit_override(self, monkeypatch):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no fork")
+        monkeypatch.setenv("REPRO_MP_START", "fork")
+        assert pool_context().get_start_method() == "fork"
 
 
 class TestMulticoreModel:

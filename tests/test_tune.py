@@ -123,6 +123,9 @@ class TestSearchSpace:
         for cfg in enumerate_space(HEAT2D, MACHINE, (64, 64)):
             if cfg.is_plan_aware:
                 assert fusable(HEAT2D, cfg.time_fusion, width=width)
+            elif cfg.engine == "shard":
+                assert 2 <= cfg.shards <= 64  # partition fits the outer axis
+                assert cfg.temporal_block >= 1
             else:
                 assert all(t <= n for t, n in zip(cfg.tile_shape, (64, 64)))
 
