@@ -1,0 +1,270 @@
+"""The serving-layer acceptance gates.
+
+Drives three asyncio loads through a :class:`repro.server.StencilServer`
+(deadline micro-batching + admission control over the kernel service)
+and asserts the subsystem's contracts:
+
+* **clean capacity** — ``BENCH_SERVICE_REQUESTS`` (default 1000)
+  concurrent mixed-tenant requests, all completed, every response
+  bitwise-identical to an uncontended single-request baseline, and
+  p99 latency within the SLO (``BENCH_SERVICE_SLO_MS``);
+* **chaos** — the same workload shape under a deterministic fault plan
+  hitting the server sites (``server.enqueue``, ``server.batch_flush``)
+  plus the execution sites underneath (``pool.task_start``,
+  ``tile.sweep``) with raises and delays: every site must actually
+  fire, every response must still be bitwise-correct, and p99 must stay
+  within a degraded SLO;
+* **overload** — the schedule is fired at a server whose admission
+  ceiling only fits half of it: the overflow must come back as **fast**
+  rejections (reject p99 within ``REJECT_SLO_MS``, not timeouts), the
+  ``server.admission.rejected`` counter must equal the rejections the
+  clients observed, and everything admitted must still be
+  bitwise-correct.
+
+Appends a timestamped entry (all three reports + gates) to
+``BENCH_service.json`` (override via ``BENCH_SERVICE_JSON``) through
+:func:`_bench_utils.append_history`.  Runs under pytest
+(``pytest benchmarks/bench_service.py -s``) or stand-alone
+(``python benchmarks/bench_service.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _bench_utils import append_history, attach_stages, emit  # noqa: E402
+
+from repro import faults, obs  # noqa: E402
+from repro.faults.plan import FaultPlan, FaultRule  # noqa: E402
+from repro.server import (LoadConfig, reference_results,  # noqa: E402
+                          run_load_sync)
+
+SHAPE = (32, 32)
+STEPS = 2
+TENANTS = 4
+KERNELS = ("heat-2d", "box-2d9p")
+SEEDS = 3
+
+#: concurrent requests in the clean run (env-reducible for smoke CI).
+REQUESTS = int(os.environ.get("BENCH_SERVICE_REQUESTS", "1000"))
+
+#: clean-run p99 SLO in milliseconds.  The schedule is fired all at
+#: once, so per-request latency includes its share of the queueing
+#: backlog — the SLO scales with the request count (and stays generous:
+#: the gate is "the server kept batching under a thundering herd", not
+#: a hardware benchmark).
+SLO_MS = float(os.environ.get("BENCH_SERVICE_SLO_MS",
+                              str(max(2_000.0, REQUESTS * 10.0))))
+
+#: chaos runs absorb injected delays and bounded retries.
+CHAOS_SLO_MS = 2.0 * SLO_MS
+
+#: rejections must be fast — an overloaded server that makes clients
+#: wait has failed even if it eventually says no.
+REJECT_SLO_MS = float(os.environ.get("BENCH_SERVICE_REJECT_SLO_MS", "100"))
+
+#: admission ceiling for the overload run; the schedule is 2x this.
+OVERLOAD_DEPTH = max(8, min(64, REQUESTS // 4))
+
+#: the chaos fault plan must hit every one of these sites.
+CHAOS_SITES = ("server.enqueue", "server.batch_flush",
+               "pool.task_start", "tile.sweep")
+
+SERVER_KW = dict(max_batch=16, batch_window_s=0.004,
+                 executor_workers=4, run_workers=4)
+
+
+def _artifact_path() -> str:
+    return os.environ.get("BENCH_SERVICE_JSON", "BENCH_service.json")
+
+
+def _cfg(requests: int) -> LoadConfig:
+    return LoadConfig(requests=requests, tenants=TENANTS, kernels=KERNELS,
+                      shape=SHAPE, steps=STEPS, seeds=SEEDS)
+
+
+def _chaos_plan() -> FaultPlan:
+    """Deterministic: raises at both server sites (absorbed by the
+    server's bounded retry), raises at the execution sites (absorbed by
+    the service's retry/degrade ladder), plus delays everywhere to
+    shuffle batch timing."""
+    rules = []
+    for site in CHAOS_SITES:
+        rules.append(FaultRule(site=site, kind="raise", after=0, times=2,
+                               every=7))
+        rules.append(FaultRule(site=site, kind="delay", after=1, times=4,
+                               every=5, delay_s=0.002))
+    return FaultPlan(rules=tuple(rules), seed=0)
+
+
+def measure() -> dict:
+    cfg = _cfg(REQUESTS)
+    references = reference_results(cfg)
+    obs.enable(reset=True)
+    try:
+        # clean capacity: admission wide open, nothing may be rejected
+        clean = run_load_sync(
+            cfg, references=references,
+            max_queue_depth=max(2048, 2 * REQUESTS),
+            quota_rate=float("inf"), **SERVER_KW)
+
+        # chaos: same shape, deterministic faults at the server + exec
+        # sites; correctness must be untouched, latency may degrade
+        with faults.inject(_chaos_plan()) as inj:
+            chaos = run_load_sync(
+                cfg, references=references,
+                max_queue_depth=max(2048, 2 * REQUESTS),
+                quota_rate=float("inf"), retries=3, **SERVER_KW)
+        injected = dict(inj.injected_by_site())
+
+        # overload: the same herd at a ceiling that fits half of it
+        before = (obs.snapshot()["metrics"]["counters"]
+                  .get("server.admission.rejected", 0))
+        overload = run_load_sync(
+            _cfg(2 * OVERLOAD_DEPTH), references=references,
+            max_queue_depth=OVERLOAD_DEPTH,
+            quota_rate=float("inf"), **SERVER_KW)
+        rejected_counter = (obs.snapshot()["metrics"]["counters"]
+                            .get("server.admission.rejected", 0)) - before
+
+        data = {
+            "shape": list(SHAPE),
+            "steps": STEPS,
+            "tenants": TENANTS,
+            "kernels": list(KERNELS),
+            "requests": REQUESTS,
+            "slo_ms": SLO_MS,
+            "chaos_slo_ms": CHAOS_SLO_MS,
+            "reject_slo_ms": REJECT_SLO_MS,
+            "overload_depth": OVERLOAD_DEPTH,
+            "clean": clean.to_dict(),
+            "chaos": chaos.to_dict(),
+            "chaos_injected": dict(sorted(injected.items())),
+            "overload": overload.to_dict(),
+            "overload_rejected_counter": rejected_counter,
+        }
+        return attach_stages(data), clean, chaos, overload
+    finally:
+        obs.disable()
+
+
+def _report(data: dict) -> None:
+    path = _artifact_path()
+    append_history(path, data)
+    clean, chaos, overload = (data["clean"], data["chaos"],
+                              data["overload"])
+    lines = [
+        f"workload        {data['requests']} concurrent requests, "
+        f"{data['tenants']} tenants, {'+'.join(data['kernels'])} on "
+        f"{'x'.join(map(str, data['shape']))}, {data['steps']} steps",
+        f"clean           {clean['completed']} completed, "
+        f"p50 {clean['p50_ms']:.1f} ms, p99 {clean['p99_ms']:.1f} ms "
+        f"(SLO {data['slo_ms']:.0f}), "
+        f"{clean['goodput_rps']:.0f} req/s, "
+        f"mean batch {clean['batch_mean']:.1f}, "
+        f"bitwise {'OK' if clean['bitwise_ok'] else 'FAIL'}",
+        f"chaos           {chaos['completed']} completed under "
+        f"{sum(data['chaos_injected'].values())} faults "
+        f"({', '.join(f'{k}={v}' for k, v in data['chaos_injected'].items())}), "
+        f"p99 {chaos['p99_ms']:.1f} ms (SLO {data['chaos_slo_ms']:.0f}), "
+        f"bitwise {'OK' if chaos['bitwise_ok'] else 'FAIL'}",
+        f"overload        depth {data['overload_depth']}, "
+        f"{overload['completed']} completed / "
+        f"{overload['rejected']} rejected, reject p99 "
+        f"{overload['reject_p99_ms']:.2f} ms "
+        f"(SLO {data['reject_slo_ms']:.0f}), counter "
+        f"{data['overload_rejected_counter']}",
+        f"artifact        {path}",
+    ]
+    emit("Serving layer: micro-batching + admission control",
+         "\n".join(lines))
+
+
+_DATA = None
+
+
+def _measured():
+    """Measure once per process; every gate shares one artifact entry."""
+    global _DATA
+    if _DATA is None:
+        data, clean, chaos, overload = measure()
+        _report(data)
+        _DATA = (data, clean, chaos, overload)
+    return _DATA
+
+
+def test_clean_capacity_and_slo():
+    """Every concurrent request completes, bitwise-correct, within the
+    p99 SLO — no rejections with admission wide open."""
+    data, clean, _, _ = _measured()
+    assert clean.completed == data["requests"], (
+        f"only {clean.completed}/{data['requests']} completed "
+        f"(rejected={clean.rejected}, failed={clean.failed}: "
+        f"{clean.errors[:3]})")
+    assert clean.rejected == 0 and clean.failed == 0
+    assert clean.bitwise_ok, (
+        f"{len(clean.mismatches)} responses diverged from the "
+        f"uncontended baseline: {clean.mismatches[:5]}")
+    assert clean.p99_ms <= data["slo_ms"], (
+        f"clean p99 {clean.p99_ms:.1f} ms over the "
+        f"{data['slo_ms']:.0f} ms SLO")
+    assert clean.batch_mean > 1.0, (
+        f"mean batch {clean.batch_mean:.2f}: micro-batching never "
+        f"coalesced anything under a {data['requests']}-request herd")
+
+
+def test_chaos_bitwise_and_slo():
+    """Faults at the server + execution sites must all fire, must not
+    corrupt a single response, and must keep p99 within the degraded
+    SLO."""
+    data, _, chaos, _ = _measured()
+    for site in CHAOS_SITES:
+        assert data["chaos_injected"].get(site, 0) >= 1, (
+            f"the fault plan never fired at {site}: "
+            f"{data['chaos_injected']}")
+    assert chaos.completed == data["requests"], (
+        f"chaos run lost requests: {chaos.completed}/{data['requests']} "
+        f"(failed={chaos.failed}: {chaos.errors[:3]})")
+    assert chaos.bitwise_ok, (
+        f"chaos corrupted {len(chaos.mismatches)} responses: "
+        f"{chaos.mismatches[:5]}")
+    assert chaos.p99_ms <= data["chaos_slo_ms"], (
+        f"chaos p99 {chaos.p99_ms:.1f} ms over the degraded "
+        f"{data['chaos_slo_ms']:.0f} ms SLO")
+
+
+def test_overload_fast_rejections_and_accounting():
+    """At 2x admission capacity the overflow is rejected fast (no
+    timeouts), the rejection counter matches what clients saw, and the
+    admitted half still computes correct answers."""
+    data, _, _, overload = _measured()
+    total = 2 * data["overload_depth"]
+    assert overload.rejected > 0, (
+        f"no rejections at 2x capacity (depth {data['overload_depth']}, "
+        f"{total} requests)")
+    assert overload.completed + overload.rejected + overload.failed == total
+    assert overload.failed == 0, f"failures: {overload.errors[:3]}"
+    assert overload.reject_reasons.get("queue", 0) == overload.rejected, (
+        f"expected pure queue-depth rejections, got "
+        f"{overload.reject_reasons}")
+    assert overload.reject_p99_ms <= data["reject_slo_ms"], (
+        f"rejections took p99 {overload.reject_p99_ms:.2f} ms — an "
+        f"overloaded server must say no fast "
+        f"(SLO {data['reject_slo_ms']:.0f} ms)")
+    assert data["overload_rejected_counter"] == overload.rejected, (
+        f"server.admission.rejected counted "
+        f"{data['overload_rejected_counter']} but clients observed "
+        f"{overload.rejected}")
+    assert overload.bitwise_ok, (
+        f"overload corrupted {len(overload.mismatches)} admitted "
+        f"responses: {overload.mismatches[:5]}")
+
+
+if __name__ == "__main__":
+    test_clean_capacity_and_slo()
+    test_chaos_bitwise_and_slo()
+    test_overload_fast_rejections_and_accounting()
+    print("ok")

@@ -13,9 +13,15 @@ Subcommands::
                                  (--profile prints the span tree +
                                  metrics snapshot of the whole pipeline;
                                  --fault-plan replays a stored fault plan)
+    serve [--port N]             async multi-tenant stencil server: a
+                                 JSON-lines TCP front end over deadline
+                                 micro-batching + admission control
+                                 (--selftest N drives a verified load
+                                 through it and exits)
     chaos [--seed N]             randomized fault injection over the full
-                                 compile-and-sweep workload; verifies the
-                                 faulted run is bitwise-identical to clean
+                                 compile-and-sweep workload (and the
+                                 serving layer); verifies the faulted run
+                                 is bitwise-identical to clean
     stats [--json]               persisted cache/tuning counters +
                                  the current observability snapshot
     cache stats|clear            inspect / wipe the kernel compile cache
@@ -385,16 +391,98 @@ def _cmd_run_inner(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """The async multi-tenant stencil server (see
+    :mod:`repro.server`): JSON-lines requests over TCP, deadline
+    micro-batching into the kernel service, per-tenant quotas and
+    queue-depth admission control.  ``--selftest N`` drives N verified
+    requests through the running server (plus one TCP probe) and exits
+    with the load report."""
+    import asyncio
+
+    from .server import (LoadConfig, StencilServer, reference_results,
+                         run_load)
+    from .server.net import request_tcp, serve_tcp
+    machine = get_machine(args.machine)
+    record = bool(args.metrics_json) or args.selftest is not None
+    if record:
+        obs.enable(reset=True)
+    server = StencilServer(
+        machine=machine,
+        max_queue_depth=args.max_queue_depth,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        batch_window_s=args.batch_window_ms / 1e3,
+        max_batch=args.max_batch,
+        executor_workers=args.executor_workers,
+        run_backend=args.run_backend,
+        run_workers=args.run_workers,
+        cache_dir=args.cache_dir,
+    )
+
+    async def main() -> int:
+        code = 0
+        async with server:
+            tcp = await serve_tcp(server, host=args.host, port=args.port)
+            port = tcp.sockets[0].getsockname()[1]
+            print(f"serving stencils on {args.host}:{port} "
+                  f"(queue depth {args.max_queue_depth}, "
+                  f"batch <= {args.max_batch} / "
+                  f"{args.batch_window_ms:g} ms window)")
+            if args.selftest is not None:
+                cfg = LoadConfig(requests=args.selftest,
+                                 shape=args.size, steps=args.steps,
+                                 deadline_s=args.deadline_ms / 1e3
+                                 if args.deadline_ms else None)
+                refs = reference_results(cfg, machine)
+                probe = (await request_tcp("127.0.0.1", port, [
+                    {"kernel": cfg.kernels[0], "shape": list(cfg.shape),
+                     "steps": cfg.steps, "seed": 0}]))[0]
+                report = await run_load(server, cfg, references=refs)
+                print(report.summary())
+                print(f"tcp probe       "
+                      f"{'ok' if probe.get('ok') else 'FAILED'} "
+                      f"(checksum {str(probe.get('checksum'))[:12]}...)")
+                code = 0 if report.ok and probe.get("ok") else 1
+            else:
+                try:
+                    await asyncio.Event().wait()
+                except asyncio.CancelledError:
+                    pass
+            tcp.close()
+            await tcp.wait_closed()
+        return code
+
+    try:
+        code = asyncio.run(main())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        code = 0
+    if args.metrics_json:
+        # a point-in-time copy: the live registry keeps accumulating
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(obs.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"metrics written to {args.metrics_json}")
+    if record:
+        obs.disable()
+    return code
+
+
 def cmd_chaos(args) -> int:
     """Randomized fault injection with bitwise-equality verification
-    (see :mod:`repro.faults.chaos`).  Exit 0 iff every site class took
-    at least one fault and the faulted run matched the clean run."""
-    from .faults.chaos import run_chaos
+    (see :mod:`repro.faults.chaos`).  Exit 0 iff every site class the
+    selected stages cover took at least one fault and the faulted run
+    matched the clean run."""
+    from .faults.chaos import STAGES, run_chaos
     machine = get_machine(args.machine)
     backends = (("thread", "process") if args.backend == "both"
                 else (args.backend,))
+    stages = (STAGES if args.stages == "all" else
+              tuple(s.strip() for s in args.stages.split(",") if s.strip()))
     report = run_chaos(kernel=args.kernel, size=args.size, steps=args.steps,
-                       seed=args.seed, backends=backends, machine=machine)
+                       seed=args.seed, backends=backends, machine=machine,
+                       stages=stages)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -430,9 +518,34 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def _server_stats(snapshot: dict) -> dict:
+    """The serving-layer slice of a saved observability snapshot: every
+    ``server.*`` counter/gauge, plus per-tenant latency summaries pulled
+    from the histograms."""
+    metrics = snapshot.get("metrics", snapshot)
+    out: dict = {"counters": {}, "gauges": {}, "latency_ms": {}}
+    for name, value in (metrics.get("counters") or {}).items():
+        if name.startswith("server."):
+            out["counters"][name] = value
+    for name, value in (metrics.get("gauges") or {}).items():
+        if name.startswith("server."):
+            out["gauges"][name] = value
+    for name, hist in (metrics.get("histograms") or {}).items():
+        if name.startswith("server.latency_ms"):
+            out["latency_ms"][name] = {
+                "count": hist.get("count"),
+                "mean": hist.get("mean"),
+                "min": hist.get("min"),
+                "max": hist.get("max"),
+            }
+    return out
+
+
 def cmd_stats(args) -> int:
     """Persisted cache/tuning counters plus the in-process observability
-    snapshot (spans + metrics recorded since the last reset)."""
+    snapshot (spans + metrics recorded since the last reset).  With
+    ``--metrics-json`` a saved serve-run snapshot's server counters are
+    folded into the output."""
     from .core.cache import KernelCache, default_cache_dir, persisted_totals
     from .tune import TuningDB, default_tuning_dir
     cache_dir = args.cache_dir or default_cache_dir()
@@ -443,18 +556,44 @@ def cmd_stats(args) -> int:
     cache_stats["disk_entry_count"] = count
     cache_stats["disk_entry_bytes"] = size
     tuning_stats = TuningDB(db_dir).stats_dict()
+    server_stats = None
+    if getattr(args, "metrics_json", None):
+        try:
+            with open(args.metrics_json, "r", encoding="utf-8") as fh:
+                saved = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise ReproError(
+                f"cannot read metrics snapshot {args.metrics_json!r}: {exc}")
+        if not isinstance(saved, dict):
+            raise ReproError(
+                f"{args.metrics_json!r} is not an observability snapshot")
+        server_stats = _server_stats(saved)
     if args.json:
-        print(json.dumps({
+        payload = {
             "cache_dir": cache_dir,
             "cache": cache_stats,
             "tuning_dir": db_dir,
             "tuning": tuning_stats,
             "obs": obs.snapshot(),
-        }, indent=2, sort_keys=True))
+        }
+        if server_stats is not None:
+            payload["server"] = server_stats
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(render_dict(f"kernel cache @ {cache_dir}", cache_stats or
                       {"(no persisted counters)": ""}))
     print(render_dict(f"tuning db @ {db_dir}", tuning_stats))
+    if server_stats is not None:
+        flat = dict(server_stats["counters"])
+        flat.update(server_stats["gauges"])
+        for name, summary in server_stats["latency_ms"].items():
+            count_ = summary.get("count") or 0
+            mean = summary.get("mean")
+            flat[name] = (f"n={count_} mean={mean:.3f}"
+                          if isinstance(mean, (int, float))
+                          else f"n={count_}")
+        print(render_dict(f"server @ {args.metrics_json}", flat or
+                          {"(no server metrics in snapshot)": ""}))
     snap = obs.snapshot()
     if snap["spans"] or any(snap["metrics"].values()):
         print("\nobservability snapshot:")
@@ -621,10 +760,70 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("thread", "process", "both"),
                    help="parallel executor backend(s) to sweep on "
                         "(default: %(default)s)")
+    p.add_argument("--stages", default="all",
+                   help="comma-separated workload stages to exercise "
+                        "(pipeline,server; default: all)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable report")
     _add_machine_arg(p)
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        description="Async multi-tenant stencil server: JSON-lines "
+                    "requests over TCP are admission-controlled "
+                    "(per-tenant token buckets + a global queue-depth "
+                    "ceiling), coalesced by deadline-aware "
+                    "micro-batching, and executed through the kernel "
+                    "service. Under load the server degrades "
+                    "gracefully: batch shedding, then the interp "
+                    "compile backend (bitwise identical), then fast "
+                    "rejection.")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default: an ephemeral port, printed "
+                        "at startup)")
+    p.add_argument("--max-queue-depth", type=int, default=256,
+                   help="global in-flight admission ceiling "
+                        "(default: %(default)s)")
+    p.add_argument("--quota-rate", type=float, default=float("inf"),
+                   help="per-tenant sustained requests/second "
+                        "(default: unlimited)")
+    p.add_argument("--quota-burst", type=float, default=None,
+                   help="per-tenant burst size (default: 2x rate)")
+    p.add_argument("--batch-window-ms", type=float, default=5.0,
+                   help="micro-batch coalescing window in milliseconds "
+                        "(default: %(default)s)")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="requests per micro-batch (default: %(default)s)")
+    p.add_argument("--executor-workers", type=int, default=4,
+                   help="batch-execution threads (default: %(default)s)")
+    p.add_argument("--run-backend", default="thread",
+                   choices=("thread", "process"),
+                   help="kernel-service sweep backend "
+                        "(default: %(default)s)")
+    p.add_argument("--run-workers", type=int, default=4,
+                   help="kernel-service sweep workers "
+                        "(default: %(default)s)")
+    p.add_argument("--cache-dir", default=None,
+                   help="persist compiled kernels to this directory")
+    p.add_argument("--selftest", type=int, default=None, metavar="N",
+                   help="drive N verified requests through the running "
+                        "server (plus one TCP probe), print the load "
+                        "report, and exit")
+    p.add_argument("--size", type=_size, default=(32, 32),
+                   help="selftest interior extents (default: 32x32)")
+    p.add_argument("--steps", type=int, default=2,
+                   help="selftest sweeps per request "
+                        "(default: %(default)s)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="selftest per-request deadline in milliseconds")
+    p.add_argument("--metrics-json", default=None, metavar="PATH",
+                   help="on exit, write the observability snapshot "
+                        "(server.* counters, per-tenant latency "
+                        "histograms) to PATH as JSON")
+    _add_machine_arg(p)
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
         "stats",
@@ -638,6 +837,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--db-dir", default=None,
                    help="tuning database directory (default: "
                         "$REPRO_TUNING_DIR or <cache>/tuning)")
+    p.add_argument("--metrics-json", default=None, metavar="PATH",
+                   help="fold the server counters from a saved "
+                        "observability snapshot (a `repro serve "
+                        "--metrics-json` file) into the output")
     p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("cache")

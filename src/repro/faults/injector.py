@@ -45,6 +45,8 @@ SITES = (
     "exec.batch_closure",  #: one batched sweep on the SIMD machine
     "exec.codegen_kernel",  #: one emitted-source sweep (codegen engine)
     "pool.task_start",     #: a parallel-executor task beginning
+    "server.batch_flush",  #: a server micro-batch leaving the queue
+    "server.enqueue",      #: an admitted server request entering the queue
     "shard.exchange",      #: one shard's halo-window gather
     "tile.sweep",          #: one tile's Jacobi sweep
 )

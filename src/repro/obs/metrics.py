@@ -79,15 +79,19 @@ class Histogram:
         return self.total / self.count if self.count else None
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min,
-            "max": self.max,
-            "mean": self.mean(),
-            "buckets": {f"<=2^{e}": n
-                        for e, n in sorted(self.buckets.items())},
-        }
+        """A point-in-time copy — taken under the lock so a concurrent
+        ``observe`` can neither tear the summary nor mutate the returned
+        buckets, and the export never aliases live registry state."""
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.mean(),
+                "buckets": {f"<=2^{e}": n
+                            for e, n in sorted(self.buckets.items())},
+            }
 
 
 def _bucket_exponent(value: float) -> int:
@@ -120,7 +124,9 @@ class MetricsRegistry:
     """Name -> instrument map with a JSON-compatible snapshot."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        # reentrant: snapshot() holds it while each histogram's as_dict
+        # re-acquires it (instruments share the registry lock)
+        self._lock = threading.RLock()
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}

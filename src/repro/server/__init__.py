@@ -1,0 +1,49 @@
+"""The asyncio serving layer: multi-tenant stencil requests at scale.
+
+Layered from the outside in:
+
+* :mod:`repro.server.net` — a JSON-lines TCP front end (``repro serve``);
+* :mod:`repro.server.client` — the in-process :class:`LocalClient`
+  (a blocking facade over a background event loop) for tests/benchmarks;
+* :mod:`repro.server.core` — :class:`StencilServer`: deadline
+  micro-batching over :class:`~repro.service.KernelService`, the
+  overload degradation ladder, and the ``server.*`` obs taxonomy;
+* :mod:`repro.server.admission` — per-tenant token buckets + global
+  queue-depth admission (:class:`ServerOverloaded` fast rejections);
+* :mod:`repro.server.loadgen` — the deterministic load generator the
+  SLO benchmark and chaos stage drive.
+"""
+
+from .admission import (
+    AdmissionController,
+    REJECT_REASONS,
+    ServerOverloaded,
+    TokenBucket,
+)
+from .client import LocalClient
+from .core import JobResult, StencilJob, StencilServer
+from .loadgen import (
+    LoadConfig,
+    LoadReport,
+    reference_results,
+    request_schedule,
+    run_load,
+    run_load_sync,
+)
+
+__all__ = [
+    "AdmissionController",
+    "JobResult",
+    "LoadConfig",
+    "LoadReport",
+    "LocalClient",
+    "REJECT_REASONS",
+    "ServerOverloaded",
+    "StencilJob",
+    "StencilServer",
+    "TokenBucket",
+    "reference_results",
+    "request_schedule",
+    "run_load",
+    "run_load_sync",
+]

@@ -1,0 +1,124 @@
+"""In-process clients for :class:`~repro.server.core.StencilServer`.
+
+Two shapes, one server:
+
+* async code inside the server's event loop calls
+  ``await server.submit(...)`` directly — no client object needed;
+* synchronous code (tests, notebooks, the CLI) uses
+  :class:`LocalClient`, which owns a private event loop on a background
+  thread, starts the server there, and exposes a blocking
+  :meth:`~LocalClient.submit` plus a concurrent
+  :meth:`~LocalClient.submit_all`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import Future
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..errors import ReproError
+from .core import JobResult, StencilJob, StencilServer
+
+
+class LocalClient:
+    """A blocking facade over a server running on a background loop.
+
+    Use as a context manager::
+
+        with LocalClient(machine=GENERIC_AVX2) as client:
+            result = client.submit(job, tenant="acme", deadline_s=0.5)
+
+    Either pass a pre-built (not yet started) :class:`StencilServer` or
+    the keyword arguments to build one.
+    """
+
+    def __init__(self, server: Optional[StencilServer] = None,
+                 **server_kwargs) -> None:
+        if server is not None and server_kwargs:
+            raise ReproError("pass either a server or construction "
+                             "keywords, not both")
+        self.server = server or StencilServer(**server_kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> "LocalClient":
+        if self._thread is not None:
+            raise ReproError("client already started")
+        started = threading.Event()
+
+        def runner() -> None:
+            self._loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(self._loop)
+            self._loop.run_until_complete(self.server.start())
+            started.set()
+            self._loop.run_forever()
+            self._loop.run_until_complete(self.server.stop())
+            self._loop.close()
+
+        self._thread = threading.Thread(target=runner,
+                                        name="repro-server-loop",
+                                        daemon=True)
+        self._thread.start()
+        started.wait()
+        return self
+
+    def close(self) -> None:
+        if self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> "LocalClient":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- requests --------------------------------------------------------------
+    def _schedule(self, job: StencilJob, tenant: str,
+                  deadline_s: Optional[float]) -> Future:
+        if self._thread is None:
+            raise ReproError("client is not started")
+        return asyncio.run_coroutine_threadsafe(
+            self.server.submit(job, tenant=tenant, deadline_s=deadline_s),
+            self._loop)
+
+    def submit(self, job: StencilJob, *, tenant: str = "default",
+               deadline_s: Optional[float] = None,
+               timeout_s: Optional[float] = 60.0) -> JobResult:
+        """Submit one job and block for its result (or its rejection)."""
+        return self._schedule(job, tenant, deadline_s).result(timeout_s)
+
+    def submit_all(
+        self,
+        jobs: Sequence[Union[StencilJob, Tuple[StencilJob, str],
+                             Tuple[StencilJob, str, Optional[float]]]],
+        *,
+        timeout_s: Optional[float] = 120.0,
+    ) -> List[Union[JobResult, BaseException]]:
+        """Submit many jobs concurrently; collect result-or-exception per
+        job, in order.  Each item is a job, ``(job, tenant)`` or
+        ``(job, tenant, deadline_s)``."""
+        futures = []
+        for item in jobs:
+            job, tenant, deadline = item, "default", None
+            if isinstance(item, tuple):
+                job, tenant = item[0], item[1]
+                if len(item) > 2:
+                    deadline = item[2]
+            futures.append(self._schedule(job, tenant, deadline))
+        out: List[Union[JobResult, BaseException]] = []
+        for f in futures:
+            try:
+                out.append(f.result(timeout_s))
+            except Exception as exc:  # collected, not raised
+                out.append(exc)
+        return out
+
+
+__all__ = ["LocalClient"]

@@ -58,6 +58,27 @@ DEFAULT_SERVICE_BUDGET = TuneBudget(max_trials=4, warmup=0, repeats=1,
                                     trial_timeout_s=30.0, patience=3)
 
 
+def _require_int(name: str, value, minimum: int) -> None:
+    """Reject non-integers (bools included) and out-of-range counts with
+    a message that names the offending parameter."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ReproError(f"{name} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ReproError(f"{name} must be >= {minimum}, got {value}")
+
+
+def _require_finite(name: str, value, *, minimum: float,
+                    exclusive: bool = False) -> None:
+    """Reject NaN/inf/non-numeric durations (bools included)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ReproError(f"{name} must be a number, got {value!r}")
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ReproError(f"{name} must be finite, got {value!r}")
+    if (value <= minimum) if exclusive else (value < minimum):
+        bound = f"> {minimum:g}" if exclusive else f">= {minimum:g}"
+        raise ReproError(f"{name} must be {bound}, got {value!r}")
+
+
 @dataclass(frozen=True)
 class CompileRequest:
     """One kernel to compile: a spec plus the interior shape it will run
@@ -132,14 +153,17 @@ class KernelService:
                 f"unknown exec backend {exec_backend!r}; "
                 f"known: {EXEC_BACKENDS}"
             )
-        if compile_workers < 1 or run_workers < 1:
-            raise ReproError("worker counts must be >= 1")
-        if task_timeout_s is not None and not task_timeout_s > 0:
-            raise ReproError("task_timeout_s must be positive (or None)")
-        if retries < 0:
-            raise ReproError("retries must be >= 0")
-        if retry_backoff_s < 0:
-            raise ReproError("retry_backoff_s must be >= 0")
+        _require_int("compile_workers", compile_workers, 1)
+        _require_int("run_workers", run_workers, 1)
+        if task_timeout_s is not None:
+            _require_finite("task_timeout_s", task_timeout_s,
+                            minimum=0.0, exclusive=True)
+        _require_int("retries", retries, 0)
+        _require_finite("retry_backoff_s", retry_backoff_s, minimum=0.0)
+        if tune_budget is not None and not isinstance(tune_budget,
+                                                     TuneBudget):
+            raise ReproError(
+                f"tune_budget must be a TuneBudget, got {tune_budget!r}")
         if failure_policy not in POLICIES:
             raise ReproError(
                 f"unknown failure policy {failure_policy!r}; "

@@ -155,6 +155,68 @@ class TestCli:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_serve_selftest_writes_metrics(self, tmp_path, capsys):
+        metrics_path = tmp_path / "serve_metrics.json"
+        code, out, _ = run_cli(
+            capsys, "serve", "--selftest", "12", "--size", "16x16",
+            "--max-batch", "4", "--batch-window-ms", "2",
+            "--metrics-json", str(metrics_path))
+        assert code == 0
+        assert "bitwise         all responses correct" in out
+        assert "tcp probe       ok" in out
+        import json
+        saved = json.loads(metrics_path.read_text())
+        counters = saved["metrics"]["counters"]
+        assert counters["server.completed"] >= 13  # load + tcp probe
+        assert counters.get("server.admission.rejected", 0) == 0
+        assert any(k.startswith("server.latency_ms.tenant.")
+                   for k in saved["metrics"]["histograms"])
+
+    def test_stats_folds_saved_server_snapshot(self, tmp_path, capsys):
+        import json
+        snapshot = {"spans": [], "metrics": {
+            "counters": {"server.completed": 7,
+                         "server.admission.rejected": 2,
+                         "cache.hits": 99},
+            "gauges": {"server.queue_depth": 0},
+            "histograms": {"server.latency_ms.tenant.t0": {
+                "count": 7, "sum": 21.0, "min": 1.0, "max": 5.0,
+                "mean": 3.0, "buckets": {"<=2^3": 7}}},
+        }}
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(snapshot))
+        code, out, _ = run_cli(capsys, "stats",
+                               "--cache-dir", str(tmp_path / "cache"),
+                               "--db-dir", str(tmp_path / "db"),
+                               "--metrics-json", str(path))
+        assert code == 0
+        assert "server.completed" in out
+        assert "server.latency_ms.tenant.t0" in out
+        assert "cache.hits" not in out.split("server @")[1]
+        code, out, _ = run_cli(capsys, "stats", "--json",
+                               "--cache-dir", str(tmp_path / "cache"),
+                               "--db-dir", str(tmp_path / "db"),
+                               "--metrics-json", str(path))
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["server"]["counters"][
+            "server.admission.rejected"] == 2
+        assert payload["server"]["latency_ms"][
+            "server.latency_ms.tenant.t0"]["count"] == 7
+
+    def test_stats_rejects_unreadable_snapshot(self, tmp_path, capsys):
+        code, _, err = run_cli(capsys, "stats",
+                               "--cache-dir", str(tmp_path / "cache"),
+                               "--db-dir", str(tmp_path / "db"),
+                               "--metrics-json",
+                               str(tmp_path / "missing.json"))
+        assert code == 2 and "cannot read metrics snapshot" in err
+
+    def test_chaos_rejects_unknown_stage(self, capsys):
+        code, _, err = run_cli(capsys, "chaos", "--stages", "nonsense",
+                               "--size", "16x16", "--steps", "1")
+        assert code == 2 and "stage" in err.lower()
+
 
 def test_experiments_save(tmp_path, capsys):
     from repro.experiments.__main__ import main as exp_main

@@ -118,6 +118,33 @@ class TestValidation:
             KernelService(GENERIC_AVX2, **kwargs)
 
     @pytest.mark.parametrize("kwargs", [
+        {"compile_workers": 2.5},
+        {"compile_workers": True},
+        {"compile_workers": "4"},
+        {"run_workers": 1.0},
+        {"run_workers": False},
+        {"retries": 1.5},
+        {"retries": True},
+        {"retry_backoff_s": float("nan")},
+        {"retry_backoff_s": float("inf")},
+        {"retry_backoff_s": "0.1"},
+        {"retry_backoff_s": True},
+        {"task_timeout_s": float("inf")},
+        {"task_timeout_s": True},
+        {"task_timeout_s": "30"},
+        {"tune_budget": 8},
+        {"tune_budget": "fast"},
+    ])
+    def test_rejects_non_numeric_config(self, kwargs):
+        """Every numeric knob is validated at construction — floats where
+        ints are required, bools masquerading as numbers, strings, NaN
+        and inf all fail fast with a message naming the parameter."""
+        with pytest.raises(ReproError) as err:
+            KernelService(GENERIC_AVX2, **kwargs)
+        (name,) = kwargs
+        assert name in str(err.value)
+
+    @pytest.mark.parametrize("kwargs", [
         {"task_timeout_s": None},
         {"task_timeout_s": 30.0},
         {"retries": 0},
