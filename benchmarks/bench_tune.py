@@ -14,6 +14,14 @@ comparison cannot flake on a separate re-run.  Asserts:
   hardware the search should discover that the numpy fast path beats the
   simulated-machine default by orders of magnitude.
 
+The second gate covers the *online* tuner: a cold service driven by
+:class:`repro.tune.OnlineTuner` must converge to within 5% of the
+offline-tuned throughput for the same search space — without ever
+blocking a request (a live load against ``online_tune=True`` finishes
+with zero failures and zero rejections, bitwise-verified).  Its record
+(``mode: "online"``) is appended to the same artifact.
+``BENCH_TUNE_ONLINE_REQUESTS`` shrinks the live phase for CI.
+
 Emits ``BENCH_tune.json`` (override via ``BENCH_TUNE_JSON``).  Runs under
 pytest (``pytest benchmarks/bench_tune.py -s``) or stand-alone.
 """
@@ -108,6 +116,163 @@ def test_tuned_never_loses_and_somewhere_wins():
 
 
 # ---------------------------------------------------------------------------
+# the online-tuning convergence gate: a cold service reaches the offline
+# winner's throughput through idle-slot exploration alone, and a live
+# load served meanwhile never sees a blocked request
+# ---------------------------------------------------------------------------
+
+from repro.core.cache import KernelCache  # noqa: E402
+from repro.server import (  # noqa: E402
+    LoadConfig,
+    StencilServer,
+    reference_results,
+    run_load_sync,
+)
+from repro.service import KernelService  # noqa: E402
+from repro.tune import OnlineTuneConfig  # noqa: E402
+from repro.tune.engine import measure as measure_trial  # noqa: E402
+
+ONLINE_KERNEL, ONLINE_SHAPE = "heat-1d", (1024,)
+#: the space both searches cover (``shard`` excluded: the online tuner
+#: never spins process pools inside idle slots)
+ONLINE_ENGINES = ("machine", "numpy", "tiled")
+ONLINE_BACKENDS = ("auto", "interp")
+CONVERGENCE_FLOOR = 0.95  #: online incumbent keeps >= 95% of offline rate
+
+
+def _online_requests() -> int:
+    return int(os.environ.get("BENCH_TUNE_ONLINE_REQUESTS", "64"))
+
+
+def measure_online() -> dict:
+    machine = GENERIC_AVX2
+    spec = library.get(ONLINE_KERNEL)
+
+    # the offline reference: a full blocking search over the same space
+    budget = TuneBudget(max_trials=6, warmup=0, repeats=2,
+                        trial_timeout_s=60.0, patience=6)
+    offline = Tuner(machine, db=TuningDB(None), budget=budget).tune(
+        spec, ONLINE_SHAPE, steps=2,
+        engines=ONLINE_ENGINES, exec_backends=ONLINE_BACKENDS)
+
+    # a cold service converges through idle-slot exploration alone
+    svc = KernelService(machine)
+    tuner = svc.online_tuner(config=OnlineTuneConfig(
+        trial_steps=2, repeats=2, engines=ONLINE_ENGINES,
+        exec_backends=ONLINE_BACKENDS))
+    tuner.observe(spec, ONLINE_SHAPE, steps=2)
+    with observed():
+        steps_taken = 0
+        while not tuner.converged() and steps_taken < 500:
+            tuner.step()
+            steps_taken += 1
+    stats = tuner.stats()
+    incumbent = svc.tuned_config(spec, ONLINE_SHAPE)
+    if incumbent is None:  # no promotion: still serving the default
+        incumbent = default_config(spec, machine)
+
+    # back-to-back re-measure on one fresh harness (identical configs
+    # trivially tie — no re-run, the ratio cannot flake on noise)
+    if incumbent.as_dict() == offline.best.config.as_dict():
+        offline_rate = online_rate = offline.best.mstencil_s
+    else:
+        harness = TuneBudget(max_trials=1, warmup=1, repeats=3,
+                             trial_timeout_s=60.0)
+        cache = KernelCache(None)
+        off = measure_trial(spec, machine, offline.best.config,
+                            ONLINE_SHAPE, steps=4, budget=harness,
+                            cache=cache)
+        on = measure_trial(spec, machine, incumbent, ONLINE_SHAPE,
+                           steps=4, budget=harness, cache=cache)
+        assert off.ok and on.ok, (off.error, on.error)
+        offline_rate, online_rate = off.mstencil_s, on.mstencil_s
+
+    # the live phase: tuning on, a full load, nothing ever blocked
+    requests = _online_requests()
+    lcfg = LoadConfig(requests=requests, kernels=(ONLINE_KERNEL,),
+                      shape=ONLINE_SHAPE, steps=2, seeds=2)
+    server = StencilServer(machine=machine, online_tune=True,
+                           online_tune_config=OnlineTuneConfig(
+                               trial_steps=2, engines=ONLINE_ENGINES,
+                               exec_backends=ONLINE_BACKENDS))
+    report = run_load_sync(lcfg, server=server,
+                           references=reference_results(lcfg, machine))
+    live = server.online_tuner.stats()
+
+    return {
+        "mode": "online",
+        "kernel": ONLINE_KERNEL,
+        "shape": list(ONLINE_SHAPE),
+        "machine": machine.name,
+        "offline_config": offline.best.config.label(),
+        "offline_mstencil_s": offline_rate,
+        "online_config": incumbent.label(),
+        "online_mstencil_s": online_rate,
+        "ratio": online_rate / offline_rate,
+        "steps": steps_taken,
+        "trials": stats["trials"],
+        "promotions": stats["promotions"],
+        "verified": stats["verified"],
+        "verify_failures": stats["verify_failures"],
+        "live_requests": requests,
+        "live_completed": report.completed,
+        "live_rejected": report.rejected,
+        "live_failed": report.failed,
+        "live_bitwise_ok": report.bitwise_ok,
+        "live_trials": live["trials"],
+        "live_gated": live["gated"],
+        "live_promotions": live["promotions"],
+    }
+
+
+def _append_online(record: dict) -> None:
+    path = _artifact_path()
+    results: list = []
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                loaded = json.load(fh)
+            if isinstance(loaded, list):
+                results = [r for r in loaded
+                           if not (isinstance(r, dict)
+                                   and r.get("mode") == "online")]
+        except (OSError, ValueError):
+            results = []
+    results.append(record)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    emit("Online tuning: cold convergence vs the offline search",
+         f"offline {record['offline_mstencil_s']:8.2f} "
+         f"({record['offline_config']})\n"
+         f"online  {record['online_mstencil_s']:8.2f} "
+         f"({record['online_config']}) "
+         f"= {record['ratio']:.2f}x after {record['trials']} trial(s)\n"
+         f"live    {record['live_completed']}/{record['live_requests']} "
+         f"served, {record['live_rejected']} rejected, "
+         f"{record['live_failed']} failed, "
+         f"{record['live_trials']} trial(s) in idle slots "
+         f"({record['live_gated']} gated)\n"
+         f"artifact        {_artifact_path()}")
+
+
+def test_online_tuning_converges_without_blocking():
+    record = measure_online()
+    _append_online(record)
+    assert record["ratio"] >= CONVERGENCE_FLOOR, (
+        f"online incumbent {record['online_config']} reaches only "
+        f"{record['ratio']:.2f}x of the offline winner "
+        f"{record['offline_config']}")
+    assert record["live_completed"] == record["live_requests"]
+    assert record["live_rejected"] == 0 and record["live_failed"] == 0, (
+        "online tuning must never block or fail a request")
+    assert record["live_bitwise_ok"], "served results must stay bitwise"
+    assert record["verify_failures"] == 0
+    assert record["promotions"] <= record["verified"], (
+        "every promotion must have passed the bitwise gate")
+
+
+# ---------------------------------------------------------------------------
 # the model-driven tuner's Table-3 rederivation (merged from the former
 # benchmarks/bench_tuning.py): the analytic search must recover blockings
 # at least as good as the paper's published rows under the same model
@@ -162,5 +327,6 @@ def test_autotuner_rederives_table3():
 
 if __name__ == "__main__":
     test_tuned_never_loses_and_somewhere_wins()
+    test_online_tuning_converges_without_blocking()
     test_autotuner_rederives_table3()
     print("ok")

@@ -33,12 +33,23 @@ from .core import JobResult, StencilJob, StencilServer
 
 
 def percentile(values: List[float], pct: float) -> float:
-    """The nearest-rank percentile of ``values`` (NaN when empty)."""
+    """The nearest-rank percentile of ``values`` (NaN when empty).
+
+    The rank is ``ceil(pct * n / 100)`` computed on the near-integer
+    product ``pct * n`` — dividing first (``ceil(pct/100 * n)``) rounds
+    up spuriously whenever ``pct/100`` lands above its decimal value in
+    binary: ``ceil(28/100 * 25)`` gave 8 where the exact rank is 7, so
+    p28 of 25 samples read one rank too high.  The rank is clamped to
+    ``[1, n]`` so pct=0 and pct=100 hit the min and max exactly.
+    """
+    if not 0.0 <= pct <= 100.0:
+        raise ReproError(f"pct must be within [0, 100], got {pct!r}")
     if not values:
         return float("nan")
     ordered = sorted(values)
-    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
-    return ordered[min(rank, len(ordered)) - 1]
+    n = len(ordered)
+    rank = max(1, math.ceil(round(pct * n, 6) / 100.0))
+    return ordered[min(rank, n) - 1]
 
 
 @dataclass(frozen=True)

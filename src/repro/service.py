@@ -295,7 +295,7 @@ class KernelService:
         self,
         requests: Sequence[Union[CompileRequest, Tuple]],
         *,
-        tune: bool = False,
+        tune: Union[bool, str] = False,
     ) -> List[CompiledKernel]:
         """Compile a batch, deduplicating identical requests and lowering
         the distinct ones concurrently.  Results are returned in request
@@ -305,8 +305,11 @@ class KernelService:
         autotuned winner for its workload: a :class:`~repro.tune.TuningDB`
         hit applies instantly (zero trials), a miss runs the tuner under
         the service's ``tune_budget`` first and stores the winner for next
-        time.  Tuned winners on a non-plan engine (pure numpy/tiled
-        execution) only pin plan options, not the executor."""
+        time.  ``tune="db"`` applies stored winners *only* — a miss keeps
+        the request's own plan options and never runs a trial (the
+        serving path: the online tuner fills the database from idle
+        slots instead).  Tuned winners on a non-plan engine (pure
+        numpy/tiled execution) only pin plan options, not the executor."""
         reqs = [r if isinstance(r, CompileRequest) else CompileRequest(*r)
                 for r in requests]
         with obs.span("service.compile_many", requests=len(reqs)) as s:
@@ -331,15 +334,21 @@ class KernelService:
             return [compiled[key] for key, _ in resolved]
 
     def _resolve(self, r: CompileRequest, *,
-                 tune: bool) -> Tuple[Tuple, Dict]:
+                 tune: Union[bool, str]) -> Tuple[Tuple, Dict]:
         """The deduplication key and effective compile kwargs for one
         request (tuned overrides already applied)."""
+        if tune not in (False, True, "db"):
+            raise ReproError(
+                f"tune must be False, True or 'db', got {tune!r}")
         kwargs: Dict = {"time_fusion": r.time_fusion, "use_sdf": r.use_sdf,
                         "backend": self.exec_backend}
         if tune:
-            cfg = self.tuner().tune(r.spec, r.shape,
-                                    budget=self.tune_budget).best.config
-            if cfg.is_plan_aware:
+            if tune == "db":
+                cfg = self.tuned_config(r.spec, r.shape)
+            else:
+                cfg = self.tuner().tune(r.spec, r.shape,
+                                        budget=self.tune_budget).best.config
+            if cfg is not None and cfg.is_plan_aware:
                 kwargs = {"time_fusion": cfg.time_fusion,
                           "use_sdf": cfg.use_sdf,
                           "backend": cfg.plan_backend}
@@ -362,6 +371,22 @@ class KernelService:
         """Autotune one workload through the service's database (see
         :meth:`repro.tune.Tuner.tune` for keywords)."""
         return self.tuner().tune(spec, tuple(shape), **kwargs)
+
+    def tuned_config(self, spec: StencilSpec, shape: Sequence[int], *,
+                     boundary: str = "periodic"):
+        """The stored winner for this workload, or ``None`` — a pure
+        database lookup, zero trials (the serving hot path)."""
+        rec = self.tuning_db.lookup(spec, self.machine,
+                                    tuple(int(n) for n in shape),
+                                    boundary=boundary)
+        return rec.config if rec is not None else None
+
+    def online_tuner(self, *, config=None, idle=None):
+        """An :class:`~repro.tune.online.OnlineTuner` exploring this
+        service's workloads: shares the machine, kernel cache and tuning
+        database, so promotions are visible to every consumer."""
+        from .tune.online import OnlineTuner
+        return OnlineTuner(self, config=config, idle=idle)
 
     # -- execution -------------------------------------------------------------
     def run(self, job: SweepJob) -> Grid:

@@ -13,14 +13,19 @@ remembers every winner:
 * :mod:`~repro.tune.db` — the content-addressed persistent
   :class:`TuningDB`;
 * :mod:`~repro.tune.tuner` — :class:`Tuner`, the front-end gluing the
-  three together.
+  three together;
+* :mod:`~repro.tune.online` — :class:`OnlineTuner`, the live-traffic
+  variant: epsilon-greedy trials in idle serving slots, bitwise-verified
+  atomic promotion into the shared database.
 
 Entry points: ``python -m repro tune``, ``KernelService.compile_many(...,
-tune=True)``, and ``compile_kernel(..., tuned=cfg)``.
+tune=True)``, ``compile_kernel(..., tuned=cfg)``, and
+``repro serve --online-tune``.
 """
 
 from .db import TuningDB, TuningRecord, default_tuning_dir, workload_key
 from .engine import Trial, TuneBudget
+from .online import OnlineTrial, OnlineTuneConfig, OnlineTuner
 from .space import (
     ENGINES,
     TuneConfig,
@@ -31,6 +36,9 @@ from .tuner import TuneReport, Tuner
 
 __all__ = [
     "ENGINES",
+    "OnlineTrial",
+    "OnlineTuneConfig",
+    "OnlineTuner",
     "Trial",
     "TuneBudget",
     "TuneConfig",

@@ -25,6 +25,7 @@ from .. import obs
 from ..config import MachineConfig
 from ..core.cache import KernelCache, default_cache
 from ..errors import TuneError
+from ..faults import TaskTimeout, call_with_timeout
 from ..stencils.spec import StencilSpec
 from .db import TuningDB, TuningRecord, workload_key
 from .engine import (
@@ -33,6 +34,7 @@ from .engine import (
     measure,
     rank_candidates,
     select_top,
+    trial_steps,
 )
 from .space import ENGINES, TuneConfig, default_config, enumerate_space
 
@@ -159,14 +161,33 @@ class Tuner:
         since_improve = 0
         stopped = "complete"
         for cfg, score in selected:
-            if deadline is not None and time.perf_counter() > deadline:
+            now = time.perf_counter()
+            if deadline is not None and now > deadline:
                 stopped = "budget"
                 break
+            # measure() only polls the deadline *between* timed runs, so
+            # one slow run could overshoot max_seconds unboundedly; a
+            # hard cap at the remaining budget turns the overrun into a
+            # failed trial instead (the worker thread is abandoned, the
+            # search moves on)
+            remaining = None if deadline is None else max(deadline - now,
+                                                          0.01)
             with obs.span("tune.trial", config=cfg.label()) as span:
-                trial = measure(spec, self.machine, cfg, shape, steps=steps,
-                                budget=budget, cache=self.cache,
-                                boundary=boundary, model_score=score,
-                                deadline=deadline)
+                try:
+                    trial = call_with_timeout(
+                        lambda: measure(spec, self.machine, cfg, shape,
+                                        steps=steps, budget=budget,
+                                        cache=self.cache, boundary=boundary,
+                                        model_score=score,
+                                        deadline=deadline),
+                        remaining)
+                except TaskTimeout:
+                    obs.counter("tune.trial_overruns").inc()
+                    trial = Trial(
+                        config=cfg, steps=trial_steps(cfg, steps),
+                        model_score=score, timed_out=True,
+                        error=(f"trial overran the remaining "
+                               f"{remaining:.3g}s search budget"))
                 span.set(ok=trial.ok, mstencil_s=round(trial.mstencil_s, 3))
             obs.counter("tune.trials").inc()
             if obs.enabled() and trial.ok:

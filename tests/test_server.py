@@ -404,6 +404,50 @@ class TestLoadGenerator:
             LoadConfig(kernels=())
 
 
+class TestPercentile:
+    """Nearest-rank percentile edge cases — including the binary
+    float-rounding regression (``ceil(28 / 100 * 25)`` is 8, not 7)."""
+
+    def test_single_sample_is_every_percentile(self):
+        from repro.server.loadgen import percentile
+        for pct in (0.0, 50.0, 99.0, 100.0):
+            assert percentile([7.0], pct) == 7.0
+
+    def test_empty_is_nan(self):
+        from repro.server.loadgen import percentile
+        assert math.isnan(percentile([], 99.0))
+
+    def test_p28_of_25_regression(self):
+        # 0.28 * 25 == 7.000000000000001 in binary; the old formula
+        # ceil'd that to rank 8 — nearest-rank says the 7th smallest
+        from repro.server.loadgen import percentile
+        values = [float(v) for v in range(1, 26)]
+        assert percentile(values, 28.0) == 7.0
+
+    def test_matches_exact_nearest_rank(self):
+        from fractions import Fraction
+
+        from repro.server.loadgen import percentile
+        values = [float(v) for v in range(1, 101)]
+        for tenth in range(1, 1001):
+            pct = tenth / 10.0
+            exact = max(1, math.ceil(Fraction(tenth, 10) * 100 / 100))
+            assert percentile(values, pct) == float(exact), pct
+
+    def test_extremes_and_unsorted_input(self):
+        from repro.server.loadgen import percentile
+        values = [3.0, 1.0, 2.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 3.0
+        assert percentile(values, 50.0) == 2.0
+
+    def test_out_of_range_pct_raises(self):
+        from repro.server.loadgen import percentile
+        for pct in (-0.1, 100.1, float("nan")):
+            with pytest.raises(ReproError):
+                percentile([1.0], pct)
+
+
 class TestTcpFrontEnd:
     def test_pipelined_requests_checksums_and_bad_request(self):
         async def main():

@@ -253,6 +253,118 @@ class TestTuningDB:
         assert db.get("k1") is None
 
 
+class TestTuningDBPromote:
+    """The delta-file promotion path: concurrent writers merge instead
+    of clobbering (the bug `put()`'s whole-file overwrite had)."""
+
+    def test_promote_keeps_the_better_record(self):
+        db = TuningDB(None)
+        assert db.promote(make_record("k1", mstencil_s=10.0))
+        assert not db.promote(make_record("k1", mstencil_s=5.0))
+        assert db.promote(make_record("k1", mstencil_s=20.0))
+        assert db.get("k1").mstencil_s == 20.0
+        assert db.stats_dict()["promotions"] == 2
+
+    def test_delta_beats_stale_base_and_vice_versa(self, tmp_path):
+        db = TuningDB(str(tmp_path))
+        db.put(make_record("k1", mstencil_s=10.0))
+        db.promote(make_record("k1", mstencil_s=15.0))
+        fresh = TuningDB(str(tmp_path))
+        assert fresh.get("k1").mstencil_s == 15.0
+        # a slower promotion never shadows a faster base
+        db2 = TuningDB(str(tmp_path))
+        assert not db2.promote(make_record("k1", mstencil_s=12.0))
+        assert TuningDB(str(tmp_path)).get("k1").mstencil_s == 15.0
+
+    def test_concurrent_writers_lose_no_updates(self, tmp_path):
+        """The regression `put()` could not pass: N writer instances
+        (one per simulated process) promoting the same and different
+        keys concurrently — a fresh reader must see every key at its
+        best-ever throughput."""
+        import threading
+
+        def writer(worker: int) -> None:
+            mine = TuningDB(str(tmp_path))  # own instance = own process
+            for i in range(8):
+                mine.promote(make_record(
+                    "shared", mstencil_s=1.0 + worker + i / 8.0))
+                mine.promote(make_record(
+                    f"own-{worker}", mstencil_s=float(worker + 1)))
+
+        threads = [threading.Thread(target=writer, args=(w,))
+                   for w in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        fresh = TuningDB(str(tmp_path))
+        assert fresh.get("shared").mstencil_s == 1.0 + 3 + 7 / 8.0
+        for w in range(4):
+            assert fresh.get(f"own-{w}").mstencil_s == float(w + 1)
+        assert fresh.entries() == sorted(
+            ["shared"] + [f"own-{w}" for w in range(4)])
+
+    def test_entries_dedupe_deltas(self, tmp_path):
+        db = TuningDB(str(tmp_path))
+        db.put(make_record("k1", mstencil_s=10.0))
+        db.promote(make_record("k1", mstencil_s=11.0))
+        db.promote(make_record("k1", mstencil_s=12.0))
+        assert db.entries() == ["k1"]
+        assert db.clear() >= 3  # base + both deltas removed
+        assert TuningDB(str(tmp_path)).get("k1") is None
+
+    def test_corrupted_delta_discarded(self, tmp_path):
+        from repro.tune.db import PROMOTE_INFIX
+        db = TuningDB(str(tmp_path))
+        db.put(make_record("k1", mstencil_s=10.0))
+        path = os.path.join(str(tmp_path),
+                            f"k1{PROMOTE_INFIX}999-deadbeef.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        fresh = TuningDB(str(tmp_path))
+        assert fresh.get("k1").mstencil_s == 10.0
+        assert fresh.discards == 1
+        assert not os.path.exists(path)
+
+
+class TestTunerBudgetOverrun:
+    """One slow trial must not blow through ``max_seconds``: the tuner
+    caps every trial at the *remaining* budget and records the overrun
+    as a failed trial instead of hanging."""
+
+    def test_slow_trial_is_cut_at_the_remaining_budget(self, monkeypatch):
+        import time
+
+        import repro.tune.tuner as tuner_mod
+        from repro.tune.engine import Trial
+
+        calls = {"n": 0}
+
+        def slow_measure(spec, machine, config, shape, **kw):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return Trial(config=config, seconds=0.01, mstencil_s=5.0,
+                             steps=2, repeats=1)
+            time.sleep(2.0)  # would overrun the whole budget
+            return Trial(config=config, seconds=2.0, mstencil_s=99.0,
+                         steps=2, repeats=1)
+
+        monkeypatch.setattr(tuner_mod, "measure", slow_measure)
+        tuner = Tuner(MACHINE, cache=KernelCache(None), db=TuningDB(None),
+                      budget=TuneBudget(max_trials=4, max_seconds=0.4,
+                                        warmup=0, repeats=1))
+        t0 = time.perf_counter()
+        report = tuner.tune(HEAT1D, (256,), steps=2)
+        wall = time.perf_counter() - t0
+        assert wall < 1.5  # the 2 s sleeper was abandoned, not awaited
+        assert report.stopped == "budget"
+        overruns = [t for t in report.trials
+                    if t.timed_out and "overran" in (t.error or "")]
+        assert overruns, "the overrun trial must be recorded as failed"
+        assert not overruns[0].ok
+        assert report.best.mstencil_s == 5.0  # sleeper never won
+
+
 class TestTunerEndToEnd:
     def test_search_then_db_hit_with_zero_trials(self):
         tuner = fast_tuner()
