@@ -174,9 +174,11 @@ def cmd_tune(args) -> int:
     exec_backends = ((args.backend,) if args.backend is not None
                      else ("auto", "batch", "interp"))
     engines = tuple(e.strip() for e in args.engines.split(",") if e.strip())
+    schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
     tuner = Tuner(machine, db=TuningDB(db_dir), budget=budget)
     report = tuner.tune(spec, shape, steps=args.steps, engines=engines,
-                        exec_backends=exec_backends, force=args.force)
+                        exec_backends=exec_backends, schemes=schemes,
+                        force=args.force)
     print(report.summary())
     if report.trials:
         rows = []
@@ -297,10 +299,13 @@ def _cmd_run_inner(args) -> int:
                            seed=0, dtype=dtype)
         prog = generate(args.scheme, spec, machine, grid)
         backend = "auto" if args.backend == "numpy" else args.backend
+        # fused schemes (temporal) advance steps_per_iter steps per sweep;
+        # round down the same way the jigsaw pipeline rounds to time_fusion
+        steps = args.steps - args.steps % prog.steps_per_iter
         t0 = time.perf_counter()
-        run_program(prog, grid, args.steps, backend=backend)
+        run_program(prog, grid, steps, backend=backend)
         dt = time.perf_counter() - t0
-        _report_run(spec, args.size, args.steps, dt,
+        _report_run(spec, args.size, steps, dt,
                     f"machine/{backend}", f"scheme: {args.scheme}")
         return 0
 
@@ -339,6 +344,26 @@ def _cmd_run_inner(args) -> int:
                          backend=tuned_cfg.run_backend)
             dt = time.perf_counter() - t0
             _report_run(spec, args.size, args.steps, dt, "shard executor",
+                        f"tuned: {tuned_cfg.label()}")
+            return 0
+        if tuned_cfg.engine == "scheme":
+            from .schemes import generate, scheme_halo
+            from .vectorize.driver import run_program
+            tf = (tuned_cfg.scheme_fusion
+                  if tuned_cfg.scheme == "temporal" else None)
+            grid = Grid.random(args.size,
+                               scheme_halo(tuned_cfg.scheme, spec, machine,
+                                           time_fusion=tf),
+                               seed=0, dtype=dtype)
+            prog = generate(tuned_cfg.scheme, spec, machine, grid,
+                            time_fusion=tf)
+            steps = args.steps - args.steps % prog.steps_per_iter
+            t0 = time.perf_counter()
+            run_program(prog, grid, steps,
+                        backend=tuned_cfg.exec_backend)
+            dt = time.perf_counter() - t0
+            _report_run(spec, args.size, steps, dt,
+                        f"machine/{tuned_cfg.exec_backend}",
                         f"tuned: {tuned_cfg.label()}")
             return 0
         backend_flag = ("numpy" if tuned_cfg.engine == "numpy"
@@ -689,9 +714,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default=None, choices=EXEC_BACKENDS,
                    help="restrict the SIMD-machine engine to one execution "
                         "backend (default: search auto, batch and interp)")
-    p.add_argument("--engines", default="machine,numpy,tiled,shard",
+    p.add_argument("--engines", default="machine,numpy,tiled,shard,scheme",
                    help="comma-separated engine families to search "
                         "(default: %(default)s)")
+    p.add_argument("--schemes", default="temporal,redundancy",
+                   help="comma-separated registry schemes the scheme "
+                        "engine searches (default: %(default)s)")
     p.add_argument("--db-dir", default=None,
                    help="tuning database directory (default: "
                         "$REPRO_TUNING_DIR or <cache>/tuning)")

@@ -62,7 +62,12 @@ PAPER_TABLE2: Dict[str, Dict[str, Tuple[float, float, float, float]]] = {
 }
 
 TABLE2_KERNELS: Tuple[str, ...] = tuple(PAPER_TABLE2)
-TABLE2_METHODS: Tuple[str, ...] = ("auto", "reorg", "jigsaw")
+#: methods the tooling accounts for.  The paper publishes numbers for the
+#: first three only; ``temporal`` (vertical time fusion) and
+#: ``redundancy`` (column-sum hoisting) are related-work families this
+#: repository adds — their paper cells render as "-".
+TABLE2_METHODS: Tuple[str, ...] = ("auto", "reorg", "jigsaw",
+                                   "temporal", "redundancy")
 
 
 def analytic_table2_row(
@@ -78,6 +83,15 @@ def analytic_table2_row(
       per ``2W`` block and fused step (``rows/steps`` loads per vector),
       ``1/steps`` stores, ``1/steps`` cross-lane, and the butterfly
       deinterleave/interleave in-lane work.
+    * ``temporal`` — vertical fusion resolves every tap of the
+      ``fused_steps``-merged footprint with one unaligned load, so one
+      load per merged point and one store, both amortized over the fused
+      steps; no shuffles at all.
+    * ``redundancy`` — one aligned load per row, one store; each nonzero
+      column offset pays exactly one cross-lane lane-concat (the odd
+      shifts' even neighbours fall on the aligned registers) plus one
+      in-lane ``vshufpd`` when the offset is odd (the same W=4 float64
+      lane convention as the ``reorg`` accounting).
     """
     rows = list(iter_row_offsets(spec))
     if method == "auto":
@@ -99,6 +113,17 @@ def analytic_table2_row(
         rx = fused.radius[-1]
         inlane = (2.0 * (rx + 1) + 2.0) / 2.0 / s
         return (loads, 1.0 / s, cross, inlane)
+    if method == "temporal":
+        from ..core.itm import merged_spec
+        s = fused_steps
+        merged = merged_spec(spec, s)
+        return (merged.npoints / s, 1.0 / s, 0.0, 0.0)
+    if method == "redundancy":
+        columns = sorted({off[-1] for off in spec.offsets})
+        shifted = [dx for dx in columns if dx != 0]
+        odd = [dx for dx in shifted if dx % 2]
+        return (float(len(rows)), 1.0, float(len(shifted)),
+                float(len(odd)))
     raise KeyError(f"unknown Table-2 method {method!r}")
 
 

@@ -13,6 +13,8 @@ Names follow the paper's figures:
 ``t4-jigsaw``LBV + SDF + 4-step ITM (Figure 6 / "T-4 Jigsaw";
              1-D kernels only)
 ``lbv``      LBV without SDF (Figure-7 ablation rung)
+``temporal`` Vertical time fusion in registers (Yuan et al.)
+``redundancy`` Data-reorg redundancy elimination (Li et al.)
 ========== ====================================================
 
 :func:`model_program` lowers a scheme against a small model grid with the
@@ -39,11 +41,16 @@ from .vectorize.multiple_loads import generate_multiple_loads
 from .vectorize.multiple_perms import generate_multiple_perms
 from .vectorize.multiple_perms import required_halo as perms_halo
 from .vectorize.program import VectorProgram
+from .vectorize.redundancy import generate_redundancy_elim
+from .vectorize.redundancy import required_halo as redundancy_halo
+from .vectorize.temporal import default_fusion as temporal_default_fusion
+from .vectorize.temporal import generate_temporal
+from .vectorize.temporal import required_halo as temporal_halo
 from .vectorize.tessellation import generate_tessellation
 
 SCHEMES: Tuple[str, ...] = (
     "auto", "reorg", "folding", "tess", "lbv", "jigsaw", "t-jigsaw",
-    "t4-jigsaw",
+    "t4-jigsaw", "temporal", "redundancy",
 )
 
 #: display names used in tables/figures
@@ -56,15 +63,25 @@ LABELS: Dict[str, str] = {
     "jigsaw": "Jigsaw",
     "t-jigsaw": "T-Jigsaw",
     "t4-jigsaw": "T-4 Jigsaw",
+    "temporal": "Temporal (Vertical Fusion)",
+    "redundancy": "Redundancy Elim",
 }
 
 
-def scheme_halo(scheme: str, spec: StencilSpec,
-                machine: MachineConfig) -> Tuple[int, ...]:
+def scheme_halo(scheme: str, spec: StencilSpec, machine: MachineConfig,
+                *, time_fusion: Optional[int] = None) -> Tuple[int, ...]:
+    """Halo ``scheme`` needs on ``machine``.  ``time_fusion`` applies to
+    ``temporal`` only (``None`` = the registry default depth)."""
     if scheme == "folding":
         return folding_halo(spec, machine)
     if scheme in ("auto", "reorg", "tess"):
         return perms_halo(spec, machine)
+    if scheme == "redundancy":
+        return redundancy_halo(spec, machine)
+    if scheme == "temporal":
+        s = (temporal_default_fusion(spec, machine)
+             if time_fusion is None else time_fusion)
+        return temporal_halo(spec, machine, time_fusion=s)
     fusion = _fusion_depth(scheme, spec, machine)
     return jigsaw_halo(spec, machine, time_fusion=fusion)
 
@@ -73,7 +90,7 @@ def scheme_block(scheme: str, machine: MachineConfig) -> int:
     w = machine.vector_elems
     if scheme == "folding":
         return w * w
-    if scheme in ("auto", "reorg", "tess"):
+    if scheme in ("auto", "reorg", "tess", "temporal", "redundancy"):
         return w
     return 2 * w
 
@@ -90,21 +107,24 @@ def _fusion_depth(scheme: str, spec: StencilSpec,
 
 
 def model_grid(scheme: str, spec: StencilSpec, machine: MachineConfig,
-               *, seed: Optional[int] = None) -> Grid:
+               *, seed: Optional[int] = None,
+               time_fusion: Optional[int] = None) -> Grid:
     """A small grid with valid halo/divisibility for lowering ``scheme``
     (x extent covers several blocks so sliding-window reuse is exercised)."""
     block = scheme_block(scheme, machine)
     nx = 3 * max(block, 16)
     shape = (4,) * (spec.ndim - 1) + (nx,)
-    halo = scheme_halo(scheme, spec, machine)
+    halo = scheme_halo(scheme, spec, machine, time_fusion=time_fusion)
     if seed is None:
         return Grid(shape, halo)
     return Grid.random(shape, halo, seed=seed)
 
 
 def generate(scheme: str, spec: StencilSpec, machine: MachineConfig,
-             grid: Grid) -> VectorProgram:
-    """Lower ``scheme`` for ``spec`` against ``grid``."""
+             grid: Grid, *, time_fusion: Optional[int] = None) -> VectorProgram:
+    """Lower ``scheme`` for ``spec`` against ``grid``.  ``time_fusion``
+    selects the vertical fusion depth for ``temporal`` (``None`` = the
+    registry default); other schemes pick their own depth."""
     if scheme == "auto":
         return generate_multiple_loads(spec, machine, grid)
     if scheme == "reorg":
@@ -113,6 +133,10 @@ def generate(scheme: str, spec: StencilSpec, machine: MachineConfig,
         return generate_folding(spec, machine, grid)
     if scheme == "tess":
         return generate_tessellation(spec, machine, grid)
+    if scheme == "temporal":
+        return generate_temporal(spec, machine, grid, time_fusion=time_fusion)
+    if scheme == "redundancy":
+        return generate_redundancy_elim(spec, machine, grid)
     if scheme == "lbv":
         return generate_jigsaw(spec, machine, grid,
                                terms=rows_as_terms(spec),
@@ -125,15 +149,16 @@ def generate(scheme: str, spec: StencilSpec, machine: MachineConfig,
     raise VectorizeError(f"unknown scheme {scheme!r}; known: {SCHEMES}")
 
 
-def model_program(scheme: str, spec: StencilSpec,
-                  machine: MachineConfig) -> VectorProgram:
+def model_program(scheme: str, spec: StencilSpec, machine: MachineConfig,
+                  *, time_fusion: Optional[int] = None) -> VectorProgram:
     """Lower against a model grid (instruction mix only)."""
-    return generate(scheme, spec, machine, model_grid(scheme, spec, machine))
+    grid = model_grid(scheme, spec, machine, time_fusion=time_fusion)
+    return generate(scheme, spec, machine, grid, time_fusion=time_fusion)
 
 
-def model_cost(scheme: str, spec: StencilSpec,
-               machine: MachineConfig) -> KernelCost:
+def model_cost(scheme: str, spec: StencilSpec, machine: MachineConfig,
+               *, time_fusion: Optional[int] = None) -> KernelCost:
     """The scheme's :class:`~repro.machine.perfmodel.KernelCost` for
     ``spec`` on ``machine``."""
-    program = model_program(scheme, spec, machine)
+    program = model_program(scheme, spec, machine, time_fusion=time_fusion)
     return PerformanceModel(machine).kernel_cost(program)

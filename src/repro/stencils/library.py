@@ -110,6 +110,29 @@ def star3d13p() -> StencilSpec:
     return star(3, 2, center=0.4, arm=[0.08, 0.02], name="star-3d13p")
 
 
+def star2d13p() -> StencilSpec:
+    """Star-2D13P: radius-3 2-D star (order 3), centre 1/4, arms
+    (1/8, 1/20, 1/80).  Beyond Table 3; the higher-order star the scheme
+    conformance matrix exercises (deep sliding windows on narrow
+    registers, fusion-depth clamping for temporal vectorization)."""
+    return star(2, 3, center=0.25, arm=[0.125, 0.05, 0.0125],
+                name="star-2d13p")
+
+
+def varcoef2d5p() -> StencilSpec:
+    """A direction-dependent ("variable-coefficient") 2D5P operator:
+    every tap carries a distinct weight, as in discretized
+    advection-diffusion with a non-axis-aligned velocity.  Nothing about
+    it is symmetric or separable, so it defeats every symmetry-based
+    optimization (SDF low rank, folding's centro-symmetry, tessellation)
+    and keeps the generic scheme paths honest."""
+    return StencilSpec(
+        name="varcoef-2d5p", ndim=2,
+        offsets=((0, 0), (0, -1), (0, 1), (-1, 0), (1, 0)),
+        coeffs=(0.35, 0.05, 0.3, 0.1, 0.2),
+    )
+
+
 def advection1d() -> StencilSpec:
     """An *asymmetric* upwind advection-diffusion kernel
     ``(0.6, 0.3, 0.1)``.  Coefficient symmetry is an optimization in
@@ -134,6 +157,8 @@ _FACTORIES: Dict[str, Callable[[], StencilSpec]] = {
     "box-3d27p": box3d27p,
     "box-2d25p": box2d25p,
     "star-3d13p": star3d13p,
+    "star-2d13p": star2d13p,
+    "varcoef-2d5p": varcoef2d5p,
     "advection-1d": advection1d,
 }
 

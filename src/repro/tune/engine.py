@@ -41,9 +41,11 @@ from ..faults import failure_reason
 from ..machine.perfmodel import PerformanceModel
 from ..parallel.executor import run_parallel
 from ..parallel.simulator import MulticoreModel, ParallelSetup
-from ..schemes import model_cost
+from ..schemes import generate as generate_scheme
+from ..schemes import model_cost, model_program, scheme_halo
 from ..stencils.grid import Grid
 from ..stencils.spec import StencilSpec
+from ..vectorize.driver import run_program
 from .space import TuneConfig
 
 #: crude wall-clock priors per engine family (relative to the
@@ -53,6 +55,11 @@ WALLCLOCK_PRIORS: Dict[str, float] = {
     "machine/interp": 1.0,
     "machine/batch": 20.0,
     "machine/auto": 20.0,
+    "machine/codegen": 20.0,
+    "scheme/interp": 1.0,
+    "scheme/batch": 20.0,
+    "scheme/auto": 20.0,
+    "scheme/codegen": 20.0,
     "numpy": 400.0,
     "tiled": 400.0,
     "shard": 400.0,
@@ -126,13 +133,27 @@ class Trial:
 def trial_steps(config: TuneConfig, steps: int) -> int:
     """``steps`` rounded up to the configuration's fused depth (throughput
     is normalized per update, so deeper fusion is not advantaged)."""
-    s = config.time_fusion if config.is_plan_aware else 1
+    if config.is_plan_aware:
+        s = config.time_fusion
+    elif config.engine == "scheme":
+        s = config.scheme_fusion
+    else:
+        s = 1
     return -(-steps // s) * s
+
+
+def _scheme_fusion_arg(config: TuneConfig):
+    """The ``time_fusion`` argument for the scheme registry: explicit for
+    ``temporal`` (the searched depth), ``None`` elsewhere (schemes pick
+    their own)."""
+    return config.scheme_fusion if config.scheme == "temporal" else None
 
 
 def _family(config: TuneConfig) -> str:
     if config.engine == "machine":
         return f"machine/{config.exec_backend}"
+    if config.engine == "scheme":
+        return f"scheme/{config.exec_backend}"
     return config.engine
 
 
@@ -159,6 +180,14 @@ def model_score(
                         required_halo(spec, machine,
                                       time_fusion=plan.time_fusion))
             program = cache.program(plan, grid)
+            model = PerformanceModel(machine)
+            est = model.estimate(model.kernel_cost(program),
+                                 points=points,
+                                 steps=trial_steps(config, steps))
+            return est.gstencil_s * prior
+        if config.engine == "scheme":
+            program = model_program(config.scheme, spec, machine,
+                                    time_fusion=_scheme_fusion_arg(config))
             model = PerformanceModel(machine)
             est = model.estimate(model.kernel_cost(program),
                                  points=points,
@@ -295,6 +324,21 @@ def measure(
                                backend=config.exec_backend)
                 else:
                     kernel.run_numpy(grid, steps_eff, boundary=boundary)
+        elif config.engine == "scheme":
+            tf = _scheme_fusion_arg(config)
+            halo = scheme_halo(config.scheme, spec, machine, time_fusion=tf)
+            grid = Grid.random(shape, halo, seed=seed, dtype=dtype)
+            program = generate_scheme(config.scheme, spec, machine, grid,
+                                      time_fusion=tf)
+            # schemes that pick their own depth (e.g. redundancy stays at
+            # 1, a future scheme may not) can disagree with scheme_fusion;
+            # re-round so run_program accepts the step count
+            sp = program.steps_per_iter
+            steps_eff = -(-steps_eff // sp) * sp
+
+            def run_once() -> None:
+                run_program(program, grid, steps_eff, boundary=boundary,
+                            backend=config.exec_backend)
         elif config.engine == "shard":
             grid = Grid.random(shape, spec.radius, seed=seed, dtype=dtype)
 

@@ -18,7 +18,13 @@ of it.  Three execution engines exist today:
   the executor backend;
 * ``"shard"`` — the sharded outer-axis executor
   (:mod:`repro.shard`), parameterized by the shard count, the temporal
-  block (sub-steps per halo exchange) and the executor backend.
+  block (sub-steps per halo exchange) and the executor backend;
+* ``"scheme"`` — a named registry scheme
+  (:func:`repro.schemes.generate` + the program driver), parameterized by
+  the scheme name, the vertical fusion depth (``temporal`` only) and the
+  execution backend.  Legality is scheme-aware: temporal depths are
+  clamped by the spec's radius, and redundancy elimination is enumerated
+  only where shifted-column sharing exists.
 
 :func:`enumerate_space` rejects illegal points up front — an ITM depth
 the butterfly window cannot cover (:func:`repro.core.itm.fusable`), a
@@ -35,14 +41,14 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..config import MachineConfig
 from ..core.itm import fusable
-from ..errors import TuneError
+from ..errors import ReproError, TuneError
 from ..parallel.executor import BACKENDS as RUN_BACKENDS
 from ..stencils.spec import StencilSpec
 from ..tuning import candidate_tiles
 from ..vectorize.driver import EXEC_BACKENDS
 
 #: the execution engines a configuration can select.
-ENGINES: Tuple[str, ...] = ("machine", "numpy", "tiled", "shard")
+ENGINES: Tuple[str, ...] = ("machine", "numpy", "tiled", "shard", "scheme")
 
 #: ITM depths the space considers (filtered by :func:`fusable` per spec).
 FUSION_LADDER: Tuple[int, ...] = (1, 2, 4)
@@ -50,6 +56,15 @@ FUSION_LADDER: Tuple[int, ...] = (1, 2, 4)
 #: temporal-block depths the shard engine considers (sub-steps per halo
 #: exchange; deeper blocks trade redundant ghost rows for fewer barriers).
 TEMPORAL_LADDER: Tuple[int, ...] = (1, 2, 4)
+
+#: registry scheme names the scheme engine searches by default (the two
+#: related-work families; any :data:`repro.schemes.SCHEMES` name may be
+#: passed explicitly).
+DEFAULT_SCHEMES: Tuple[str, ...] = ("temporal", "redundancy")
+
+#: vertical fusion depths the temporal scheme considers (filtered by
+#: :func:`repro.vectorize.temporal.legal_fusion` per spec/machine).
+SCHEME_FUSION_LADDER: Tuple[int, ...] = (1, 2, 4)
 
 
 @dataclass(frozen=True)
@@ -64,12 +79,14 @@ class TuneConfig:
     engine: str = "machine"
     time_fusion: int = 1
     use_sdf: bool = True
-    exec_backend: str = "auto"             #: machine engine only
+    exec_backend: str = "auto"             #: machine + scheme engines
     tile_shape: Optional[Tuple[int, ...]] = None  #: tiled engine only
     workers: int = 1                        #: tiled engine only
     run_backend: str = "thread"             #: tiled + shard engines
     shards: int = 1                         #: shard engine only
     temporal_block: int = 1                 #: shard engine only
+    scheme: Optional[str] = None            #: scheme engine only
+    scheme_fusion: int = 1                  #: scheme engine, temporal only
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -77,6 +94,24 @@ class TuneConfig:
                 f"unknown engine {self.engine!r}; known: {ENGINES}")
         if self.time_fusion < 1:
             raise TuneError("time_fusion must be >= 1")
+        if self.scheme_fusion < 1:
+            raise TuneError("scheme_fusion must be >= 1")
+        if self.engine == "scheme":
+            from ..schemes import SCHEMES
+            if self.scheme is None:
+                raise TuneError(
+                    "scheme: scheme-engine configurations need a scheme name")
+            if self.scheme not in SCHEMES:
+                raise TuneError(
+                    f"scheme: unknown scheme {self.scheme!r}; "
+                    f"known: {SCHEMES}")
+        else:
+            if self.scheme is not None:
+                raise TuneError(
+                    f"scheme is a scheme-engine field (engine is "
+                    f"{self.engine!r})")
+            if self.scheme_fusion != 1:
+                raise TuneError("scheme_fusion is a scheme-engine field")
         if self.exec_backend not in EXEC_BACKENDS:
             raise TuneError(
                 f"unknown exec backend {self.exec_backend!r}; "
@@ -126,6 +161,13 @@ class TuneConfig:
                 "temporal_block": self.temporal_block,
                 "run_backend": self.run_backend,
             }
+        if self.engine == "scheme":
+            return {
+                "engine": self.engine,
+                "scheme": self.scheme,
+                "scheme_fusion": self.scheme_fusion,
+                "exec_backend": self.exec_backend,
+            }
         out: Dict[str, Any] = {
             "engine": self.engine,
             "time_fusion": self.time_fusion,
@@ -144,7 +186,7 @@ class TuneConfig:
             raise TuneError("configuration payload is not an object")
         known = {"engine", "time_fusion", "use_sdf", "exec_backend",
                  "tile_shape", "workers", "run_backend", "shards",
-                 "temporal_block"}
+                 "temporal_block", "scheme", "scheme_fusion"}
         unknown = set(payload) - known
         if unknown:
             raise TuneError(f"unknown configuration fields {sorted(unknown)}")
@@ -179,6 +221,10 @@ class TuneConfig:
         if self.engine == "shard":
             return (f"shard[{self.shards}] s={self.temporal_block} "
                     f"{self.run_backend}")
+        if self.engine == "scheme":
+            depth = (f" s={self.scheme_fusion}"
+                     if self.scheme_fusion > 1 else "")
+            return f"scheme/{self.scheme}{depth} {self.exec_backend}"
         sdf = "sdf" if self.use_sdf else "no-sdf"
         if self.engine == "machine":
             return f"machine/{self.exec_backend} tf={self.time_fusion} {sdf}"
@@ -218,6 +264,7 @@ def enumerate_space(
     run_backends: Sequence[str] = ("thread",),
     max_workers: Optional[int] = None,
     tile_options_per_axis: int = 3,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
 ) -> List[TuneConfig]:
     """All legal configurations for ``spec`` over an interior ``shape``.
 
@@ -226,9 +273,13 @@ def enumerate_space(
     ``exec_backends=("interp",)``).  The machine-engine default searches
     ``auto`` (the codegen→batch→interp ladder), pinned ``batch``, and
     pinned ``interp`` — ``codegen`` resolves identically to ``auto`` and
-    would only duplicate trial points.  Illegal points never appear:
-    infeasible ITM depths, machine-engine x extents below one ``2W``
-    block, and tiles exceeding the grid are rejected here.
+    would only duplicate trial points.  ``schemes`` names the registry
+    schemes the scheme engine enumerates (default
+    :data:`DEFAULT_SCHEMES`).  Illegal points never appear: infeasible
+    ITM depths, machine-engine x extents below one ``2W`` block, tiles
+    exceeding the grid, temporal fusion depths the radius cannot support,
+    and redundancy elimination on specs without shifted-column sharing
+    are all rejected here.
     """
     shape = tuple(int(n) for n in shape)
     if len(shape) != spec.ndim:
@@ -247,6 +298,11 @@ def enumerate_space(
         if b not in RUN_BACKENDS:
             raise TuneError(
                 f"unknown run backend {b!r}; known: {RUN_BACKENDS}")
+    from ..schemes import SCHEMES
+    for s in schemes:
+        if s not in SCHEMES:
+            raise TuneError(
+                f"schemes: unknown scheme name {s!r}; known: {SCHEMES}")
 
     width = machine.vector_elems
     depths = [d for d in FUSION_LADDER if fusable(spec, d, width=width)]
@@ -296,12 +352,45 @@ def enumerate_space(
                 for backend in run_backends:
                     add(TuneConfig(engine="shard", shards=shards,
                                    temporal_block=s, run_backend=backend))
+    if "scheme" in engines:
+        from ..schemes import scheme_block, scheme_halo
+        from ..vectorize.redundancy import has_sharing
+        from ..vectorize.temporal import legal_fusion
+
+        def halo_fits(halo) -> bool:
+            # periodic refills need halo <= interior on every axis
+            return all(h <= n for h, n in zip(halo, shape))
+
+        for name in schemes:
+            if name == "redundancy" and not has_sharing(spec):
+                continue  # no shifted column shared by >= 2 rows
+            depths = (
+                [d for d in SCHEME_FUSION_LADDER
+                 if legal_fusion(spec, machine, d)]
+                if name == "temporal" else [1]
+            )
+            for depth in depths:
+                try:
+                    if shape[-1] < scheme_block(name, machine):
+                        continue
+                    tf = depth if name == "temporal" else None
+                    if not halo_fits(scheme_halo(name, spec, machine,
+                                                 time_fusion=tf)):
+                        continue
+                except ReproError:
+                    continue  # the scheme refuses this spec (e.g. shape)
+                for backend in exec_backends:
+                    add(TuneConfig(engine="scheme", scheme=name,
+                                   scheme_fusion=depth,
+                                   exec_backend=backend))
     return configs
 
 
 __all__ = [
+    "DEFAULT_SCHEMES",
     "ENGINES",
     "FUSION_LADDER",
+    "SCHEME_FUSION_LADDER",
     "TEMPORAL_LADDER",
     "TuneConfig",
     "default_config",

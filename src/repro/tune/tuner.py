@@ -36,7 +36,13 @@ from .engine import (
     select_top,
     trial_steps,
 )
-from .space import ENGINES, TuneConfig, default_config, enumerate_space
+from .space import (
+    DEFAULT_SCHEMES,
+    ENGINES,
+    TuneConfig,
+    default_config,
+    enumerate_space,
+)
 
 
 @dataclass(frozen=True)
@@ -99,6 +105,7 @@ class Tuner:
         budget: Optional[TuneBudget] = None,
         engines: Sequence[str] = ENGINES,
         exec_backends: Sequence[str] = ("auto", "interp"),
+        schemes: Sequence[str] = DEFAULT_SCHEMES,
         boundary: str = "periodic",
         force: bool = False,
     ) -> TuneReport:
@@ -134,13 +141,15 @@ class Tuner:
             return self._search(spec, shape, steps=steps, budget=budget,
                                 engines=engines,
                                 exec_backends=exec_backends,
+                                schemes=schemes,
                                 boundary=boundary, key=key, tspan=tspan)
 
     def _search(self, spec, shape, *, steps, budget, engines,
-                exec_backends, boundary, key, tspan) -> TuneReport:
+                exec_backends, schemes, boundary, key, tspan) -> TuneReport:
         space = enumerate_space(spec, self.machine, shape,
                                 engines=engines,
-                                exec_backends=exec_backends)
+                                exec_backends=exec_backends,
+                                schemes=schemes)
         if not space:
             raise TuneError(
                 f"no legal configuration for {spec.name} over {shape}")

@@ -15,6 +15,14 @@ Baselines reproduced from the paper's evaluation:
 * :mod:`tessellation` — the ICPP'19 Tessellation star-stencil baseline.
 * :mod:`dsl` — SDSL- and Pluto-like end-to-end baseline cost models.
 
+Related-work scheme families beyond the paper's baselines:
+
+* :mod:`temporal` — vertical time fusion in registers (Yuan et al.):
+  ``s`` Jacobi steps per iteration with intermediates held in registers.
+* :mod:`redundancy` — data-reorganization redundancy elimination
+  (Li et al., arXiv 2103.09235): column sums hoisted and slid so shared
+  shifted subexpressions are built once.
+
 Jigsaw's own generators live in :mod:`repro.core`.
 """
 
@@ -23,6 +31,8 @@ from .multiple_loads import generate_multiple_loads
 from .multiple_perms import generate_multiple_perms
 from .folding import generate_folding
 from .tessellation import generate_tessellation
+from .temporal import generate_temporal
+from .redundancy import generate_redundancy_elim
 
 __all__ = [
     "Loop",
@@ -32,4 +42,6 @@ __all__ = [
     "generate_multiple_perms",
     "generate_folding",
     "generate_tessellation",
+    "generate_temporal",
+    "generate_redundancy_elim",
 ]

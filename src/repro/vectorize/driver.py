@@ -36,8 +36,11 @@ EXEC_BACKENDS: Tuple[str, ...] = ("auto", "codegen", "batch", "interp")
 
 def check_program_grid(program: VectorProgram, grid: Grid) -> None:
     """Raise :class:`~repro.errors.VectorizeError` unless ``grid`` can
-    drive ``program``: matching element width, and either a block-aligned
-    x extent or a ``tail_spec`` for the scalar epilogue.
+    drive ``program``: matching rank and element width, outer loops that
+    walk exactly this grid's interior, and either a block-aligned x extent
+    or a ``tail_spec`` for the scalar epilogue.  Every mismatch message
+    names the offending axis (by its loop variable) so rank/halo mix-ups
+    on deep-radius specs are diagnosable.
 
     Shared by :func:`run_program` and the kernel cache
     (:mod:`repro.core.cache`), which uses it to reject stale or corrupted
@@ -48,16 +51,46 @@ def check_program_grid(program: VectorProgram, grid: Grid) -> None:
             f"grid dtype {grid.data.dtype} ({grid.data.itemsize}B) does not "
             f"match the program's {program.elem_bytes}B elements"
         )
+    axes = tuple(l.var for l in program.loops)
+    if grid.ndim != len(axes):
+        missing = axes[:max(0, len(axes) - grid.ndim)]
+        detail = (f"grid is missing the outer {missing} ax"
+                  f"{'es' if len(missing) > 1 else 'is'}" if missing
+                  else f"grid has {grid.ndim - len(axes)} extra outer "
+                       f"ax{'es' if grid.ndim - len(axes) > 1 else 'is'}")
+        raise VectorizeError(
+            f"grid rank {grid.ndim} does not match the program's "
+            f"{len(axes)} loop axes {axes}; {detail}"
+        )
+    # outer loops walk one point per interior index: [halo, halo + n)
+    for axis, loop in enumerate(program.loops[:-1]):
+        h, n = grid.halo[axis], grid.shape[axis]
+        if loop.start != h or loop.stop != h + n:
+            raise VectorizeError(
+                f"axis {loop.var!r}: program loop [{loop.start}, {loop.stop}) "
+                f"does not walk the grid interior [{h}, {h + n}) "
+                f"(halo {h}, extent {n}); the program was lowered for a "
+                f"different geometry"
+            )
+    x = program.x_loop
     nx = grid.shape[-1]
-    covered = program.x_loop.trip_count * program.block
+    if x.start != grid.halo[-1]:
+        raise VectorizeError(
+            f"axis {x.var!r}: program loop starts at {x.start} but the grid "
+            f"halo is {grid.halo[-1]}; the program was lowered for a "
+            f"different geometry"
+        )
+    covered = x.trip_count * program.block
     if covered > nx:
         raise VectorizeError(
-            f"program covers {covered} x elements but the grid has {nx}"
+            f"axis {x.var!r}: program covers {covered} elements but the "
+            f"grid has {nx}"
         )
     if nx - covered and program.tail_spec is None:
         raise VectorizeError(
-            f"x extent {nx} leaves a {nx - covered}-element remainder but "
-            f"the program carries no tail_spec for the scalar epilogue"
+            f"axis {x.var!r}: extent {nx} leaves a {nx - covered}-element "
+            f"remainder but the program carries no tail_spec for the "
+            f"scalar epilogue"
         )
 
 

@@ -1,9 +1,9 @@
-"""Unit tests for halo filling."""
+"""Unit tests for halo filling and program/grid geometry checking."""
 
 import numpy as np
 import pytest
 
-from repro.errors import GridError
+from repro.errors import GridError, VectorizeError
 from repro.stencils.boundary import fill_halo
 from repro.stencils.grid import Grid
 
@@ -88,3 +88,92 @@ def test_unknown_mode_raises():
 def test_returns_grid():
     g = Grid((4,), 1)
     assert fill_halo(g) is g
+
+
+class TestHigherOrderHalos:
+    """Boundary handling at the deep halos the new schemes need:
+    temporal fusion multiplies the radius by the fused depth and
+    redundancy rounds the x reach up to whole vectors."""
+
+    def test_deep_periodic_wrap_matches_pad(self):
+        rng = np.random.default_rng(9)
+        g = Grid((6, 8), (4, 8))  # s=2 fused radius-2 star + vector x halo
+        g.interior[...] = rng.uniform(size=(6, 8))
+        fill_halo(g, "periodic")
+        expect = np.pad(g.interior, ((4, 4), (8, 8)), mode="wrap")
+        assert np.array_equal(g.data, expect)
+
+    def test_deep_halo_wider_than_interior_rejected_per_axis(self):
+        g = Grid((3, 16), (4, 4))  # outer axis: halo 4 > interior 3
+        with pytest.raises(GridError):
+            fill_halo(g, "periodic")
+
+    def test_temporal_halo_wraps_bitwise_like_two_single_steps(self):
+        # a depth-2 temporal sweep under periodic boundaries must see the
+        # same ghost values as two single-step refills of the same field
+        from repro.config import GENERIC_AVX2
+        from repro.schemes import generate, scheme_halo
+        from repro.stencils import apply_steps, library
+        from repro.vectorize.driver import run_program
+        spec = library.get("star-1d5p")  # radius 2, s=2 -> fused halo 4
+        halo = scheme_halo("temporal", spec, GENERIC_AVX2, time_fusion=2)
+        assert halo == (4,)
+        grid = Grid.random((24,), halo, seed=3)
+        prog = generate("temporal", spec, GENERIC_AVX2, grid, time_fusion=2)
+        got = run_program(prog, grid, 2)
+        ref = apply_steps(spec, grid, 2)
+        assert np.allclose(got.interior, ref.interior, rtol=1e-12,
+                           atol=1e-14)
+
+
+class TestCheckProgramGrid:
+    """The geometry gate names the offending axis in every mismatch."""
+
+    def make(self, kernel="heat-2d", shape=(8, 24)):
+        from repro.config import GENERIC_AVX2
+        from repro.schemes import generate, scheme_halo
+        from repro.stencils import library
+        spec = library.get(kernel)
+        halo = scheme_halo("reorg", spec, GENERIC_AVX2)
+        grid = Grid.random(shape, halo, seed=0)
+        return generate("reorg", spec, GENERIC_AVX2, grid), grid, halo
+
+    def test_rank_mismatch_names_missing_axis(self):
+        from repro.vectorize.driver import check_program_grid
+        prog, grid, halo = self.make()
+        flat = Grid.random((24,), (halo[-1],), seed=0)
+        with pytest.raises(VectorizeError) as exc:
+            check_program_grid(prog, flat)
+        msg = str(exc.value)
+        assert "grid rank 1" in msg and "2 loop axes" in msg
+        assert "missing the outer" in msg and "'y'" in msg
+
+    def test_rank_mismatch_names_extra_axes(self):
+        from repro.vectorize.driver import check_program_grid
+        prog, grid, halo = self.make(kernel="heat-1d", shape=(24,))
+        deep = Grid.random((4, 4, 24), (1, 1, halo[-1]), seed=0)
+        with pytest.raises(VectorizeError) as exc:
+            check_program_grid(prog, deep)
+        assert "2 extra outer axes" in str(exc.value)
+
+    def test_outer_extent_mismatch_names_loop_var(self):
+        from repro.vectorize.driver import check_program_grid
+        prog, grid, halo = self.make()
+        other = Grid.random((10, 24), halo, seed=0)
+        with pytest.raises(VectorizeError) as exc:
+            check_program_grid(prog, other)
+        msg = str(exc.value)
+        assert "axis 'y'" in msg and "interior" in msg
+
+    def test_x_halo_mismatch_names_loop_var(self):
+        from repro.vectorize.driver import check_program_grid
+        prog, grid, halo = self.make()
+        other = Grid.random((8, 24), (halo[0], halo[-1] + 4), seed=0)
+        with pytest.raises(VectorizeError) as exc:
+            check_program_grid(prog, other)
+        assert "axis 'x'" in str(exc.value)
+
+    def test_matching_grid_passes(self):
+        from repro.vectorize.driver import check_program_grid
+        prog, grid, halo = self.make()
+        check_program_grid(prog, grid)  # must not raise

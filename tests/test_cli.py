@@ -113,6 +113,37 @@ class TestCli:
         assert code == 0
         assert "tuned:" in out
 
+    def test_run_temporal_scheme_rounds_steps(self, capsys):
+        # temporal fuses 2 steps per sweep: 5 requested -> 4 executed
+        code, out, _ = run_cli(
+            capsys, "run", "heat-1d", "--size", "256", "--steps", "5",
+            "--scheme", "temporal",
+        )
+        assert code == 0
+        assert "scheme: temporal" in out and "4 steps" in out
+
+    def test_run_redundancy_scheme(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "box-2d9p", "--size", "16x32", "--steps", "2",
+            "--scheme", "redundancy",
+        )
+        assert code == 0
+        assert "scheme: redundancy" in out
+
+    def test_tune_scheme_engine_and_bad_scheme_name(self, tmp_path, capsys):
+        code, out, _ = run_cli(
+            capsys, "tune", "heat-1d", "--shape", "256", "--steps", "2",
+            "--engines", "scheme", "--backend", "interp",
+            "--budget-trials", "2", "--repeats", "1", "--warmup", "0",
+            "--db-dir", str(tmp_path))
+        assert code == 0
+        assert "scheme/" in out
+        code, _, err = run_cli(
+            capsys, "tune", "heat-1d", "--shape", "256",
+            "--schemes", "bogus", "--db-dir", str(tmp_path), "--force")
+        assert code == 2
+        assert "unknown scheme name" in err and "bogus" in err
+
     def test_run_rejects_unknown_backend(self, capsys):
         with pytest.raises(SystemExit) as exc:
             run_cli(capsys, "run", "heat-1d", "--size", "4096",

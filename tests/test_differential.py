@@ -17,7 +17,10 @@ asserts that tracing never perturbs any backend's output bitwise.
 Further axes cover the hardened runtime layers: sharded execution
 (random shard counts and temporal blocks must reproduce the serial
 reference bitwise) and fault-injection chaos over the executor, batch,
-codegen and shard recovery paths.
+codegen and shard recovery paths.  The new scheme families — temporal
+(vertical time fusion) and redundancy elimination (column-sum hoisting)
+— run under the same contract on every generated spec plus the
+deep-radius star and variable-coefficient library workloads.
 
 The example budget is controlled by ``REPRO_DIFF_EXAMPLES`` (per test
 function; each example exercises all three schemes).  The local default
@@ -142,6 +145,64 @@ def test_schemes_match_reference_f64(spec, steps, seed):
        seed=st.integers(min_value=0, max_value=2**16))
 def test_schemes_match_reference_f32(spec, steps, seed):
     _differential_case(GENERIC_AVX2_F32, np.float32, spec, steps, seed)
+
+
+# -- the new scheme families (temporal fusion + redundancy elimination) -------
+
+#: the related-work scheme families under the same differential contract.
+NEW_SCHEMES = ("temporal", "redundancy")
+
+
+def _new_scheme_case(machine, dtype, spec, sweeps, seed):
+    """Temporal fusion and redundancy elimination against the reference,
+    bitwise across all three execution backends.  Temporal programs fuse
+    ``steps_per_iter`` time steps per sweep, so the step count is a
+    multiple of the program's depth and the outer extents are sized to
+    the fused halo (periodic refills need ``halo <= interior``)."""
+    width = machine.vector_elems
+    nx = 6 * width
+    for scheme in NEW_SCHEMES:
+        halo = scheme_halo(scheme, spec, machine)
+        shape = tuple(max(3, h) for h in halo[:-1]) + (nx,)
+        grid = Grid.random(shape, halo, seed=seed, dtype=dtype)
+        program = generate(scheme, spec, machine, grid)
+        steps = sweeps * program.steps_per_iter
+        got = run_program(program, grid, steps, backend="interp")
+        for backend in ("batch", "codegen"):
+            other = run_program(program, grid, steps, backend=backend)
+            assert np.array_equal(other.data, got.data), (
+                f"{scheme}/{spec.tag}: {backend} backend diverged bitwise "
+                f"from the interpreter after {steps} step(s)"
+            )
+        reference = apply_steps(spec, grid, steps)
+        _assert_ulp_close(got.interior, reference.interior, spec=spec,
+                          steps=steps, scheme=scheme)
+
+
+@DIFF_SETTINGS
+@given(spec=random_specs, sweeps=st.integers(min_value=1, max_value=2),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_new_scheme_families_match_reference_f64(spec, sweeps, seed):
+    _new_scheme_case(GENERIC_AVX2, np.float64, spec, sweeps, seed)
+
+
+@DIFF_SETTINGS
+@given(spec=random_specs, sweeps=st.integers(min_value=1, max_value=2),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_new_scheme_families_match_reference_f32(spec, sweeps, seed):
+    _new_scheme_case(GENERIC_AVX2_F32, np.float32, spec, sweeps, seed)
+
+
+@pytest.mark.parametrize("kernel",
+                         ["star-1d5p", "star-2d13p", "varcoef-2d5p"])
+def test_new_scheme_families_on_library_workloads(kernel):
+    """The deep-radius star and the variable-coefficient kernel are
+    reachable from the differential harness: both new schemes must match
+    the reference on them, bitwise across backends."""
+    from repro.stencils import library
+    spec = library.get(kernel)
+    for seed in (0, 1, 2):
+        _new_scheme_case(GENERIC_AVX2, np.float64, spec, 2, seed)
 
 
 def test_budget_meets_acceptance_floor():

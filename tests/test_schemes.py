@@ -74,3 +74,85 @@ def test_model_cost_fields():
     assert cost.steps_per_iter == 2
     assert cost.scheme == "t-jigsaw"
     assert cost.cycles_per_iter > 0
+
+
+# -- instruction-mix contracts for the new scheme families ------------------
+#
+# Hand-derived body mixes per output vector per fused step on AVX2/f64
+# (W=4, 2 elements per 128-bit lane).
+#
+# temporal (vertical fusion, depth s): every tap of the s-fold merged
+# footprint is one unaligned load, amortized over s steps, and there are
+# no shuffles at all:
+#   L = |merged footprint| / s, S = 1/s, C = I = 0.
+#   heat-1d s=2:   merged {-2..2}                ->  5/2 = 2.5 loads
+#   star-1d5p s=2: merged {-4..4}                ->  9/2 = 4.5
+#   heat-2d s=2:   merged radius-2 diamond (13)  -> 13/2 = 6.5
+#   box-2d9p s=2:  merged 5x5 box (25)           -> 25/2 = 12.5
+#   star-2d13p s=1 (radius 3 forbids s=2 at W=4) -> 13 loads, 1 store
+#
+# redundancy (column-sum hoisting): one aligned load per stencil row, one
+# store; each nonzero column offset dx pays exactly one cross-lane
+# lane-concat — the odd shifts' even neighbours land on the aligned
+# registers (0 or W) — plus one in-lane vshufpd when dx is odd:
+#   L = #rows, S = 1, C = #nonzero columns, I = #odd columns.
+#   heat-1d:    1 row,  columns {-1,+1}          -> C=2, I=2
+#   star-1d5p:  1 row,  columns {-2,-1,+1,+2}    -> C=4, I=2
+#   box-2d9p:   3 rows, columns {-1,+1}          -> C=2, I=2
+#   star-2d13p: 7 rows, columns {-3..+3}\\{0}     -> C=6, I=4
+TEMPORAL_MIXES = {
+    "heat-1d": {"L": 2.5, "S": 0.5, "C": 0.0, "I": 0.0},
+    "star-1d5p": {"L": 4.5, "S": 0.5, "C": 0.0, "I": 0.0},
+    "heat-2d": {"L": 6.5, "S": 0.5, "C": 0.0, "I": 0.0},
+    "box-2d9p": {"L": 12.5, "S": 0.5, "C": 0.0, "I": 0.0},
+    "star-2d13p": {"L": 13.0, "S": 1.0, "C": 0.0, "I": 0.0},
+    "varcoef-2d5p": {"L": 6.5, "S": 0.5, "C": 0.0, "I": 0.0},
+}
+REDUNDANCY_MIXES = {
+    "heat-1d": {"L": 1.0, "S": 1.0, "C": 2.0, "I": 2.0},
+    "star-1d5p": {"L": 1.0, "S": 1.0, "C": 4.0, "I": 2.0},
+    "heat-2d": {"L": 3.0, "S": 1.0, "C": 2.0, "I": 2.0},
+    "box-2d9p": {"L": 3.0, "S": 1.0, "C": 2.0, "I": 2.0},
+    "star-2d13p": {"L": 7.0, "S": 1.0, "C": 6.0, "I": 4.0},
+    "varcoef-2d5p": {"L": 3.0, "S": 1.0, "C": 2.0, "I": 2.0},
+}
+
+
+@pytest.mark.parametrize("kernel", sorted(TEMPORAL_MIXES))
+def test_temporal_mix_contract(kernel):
+    prog = model_program("temporal", library.get(kernel), GENERIC_AVX2)
+    mix = prog.per_vector_mix()
+    for key, want in TEMPORAL_MIXES[kernel].items():
+        assert mix[key] == pytest.approx(want), (kernel, key, mix)
+
+
+@pytest.mark.parametrize("kernel", sorted(REDUNDANCY_MIXES))
+def test_redundancy_mix_contract(kernel):
+    prog = model_program("redundancy", library.get(kernel), GENERIC_AVX2)
+    mix = prog.per_vector_mix()
+    for key, want in REDUNDANCY_MIXES[kernel].items():
+        assert mix[key] == pytest.approx(want), (kernel, key, mix)
+
+
+@pytest.mark.parametrize("kernel", sorted(TEMPORAL_MIXES))
+def test_analytic_table2_matches_generated_mix(kernel):
+    from repro.analysis.instruction_count import (
+        analytic_table2_row,
+        measured_table2_row,
+    )
+    spec = library.get(kernel)
+    for method in ("temporal", "redundancy"):
+        fs = 1 if (method == "temporal" and max(spec.radius) > 2) else 2
+        analytic = analytic_table2_row(method, spec, fused_steps=fs)
+        measured = measured_table2_row(method, spec, GENERIC_AVX2)
+        assert analytic == pytest.approx(measured), (kernel, method)
+
+
+def test_temporal_fusion_depth_legality():
+    from repro.vectorize.temporal import generate_temporal, max_fusion
+    spec = library.get("star-2d13p")  # radius 3: W=4 admits depth 1 only
+    assert max_fusion(spec, GENERIC_AVX2) == 1
+    grid = model_grid("temporal", spec, GENERIC_AVX2)
+    with pytest.raises(VectorizeError, match="fusion depth"):
+        generate_temporal(spec, GENERIC_AVX2, grid, time_fusion=2)
+    assert max_fusion(library.get("heat-1d"), GENERIC_AVX2) == 4

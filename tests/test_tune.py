@@ -27,6 +27,9 @@ from repro.tune import (
     workload_key,
 )
 from repro.tune.engine import select_top, trial_steps
+from repro.schemes import SCHEMES
+from repro.vectorize.redundancy import has_sharing
+from repro.vectorize.temporal import legal_fusion
 
 MACHINE = GENERIC_AVX2
 HEAT1D = library.get("heat-1d")
@@ -126,6 +129,12 @@ class TestSearchSpace:
             elif cfg.engine == "shard":
                 assert 2 <= cfg.shards <= 64  # partition fits the outer axis
                 assert cfg.temporal_block >= 1
+            elif cfg.engine == "scheme":
+                assert cfg.scheme in SCHEMES
+                if cfg.scheme == "temporal":
+                    assert legal_fusion(HEAT2D, MACHINE, cfg.scheme_fusion)
+                else:
+                    assert cfg.scheme_fusion == 1
             else:
                 assert all(t <= n for t, n in zip(cfg.tile_shape, (64, 64)))
 
@@ -171,6 +180,75 @@ class TestSearchSpace:
         assert picked[0][0].as_dict() == baseline.as_dict()
         # stratified: more than one engine family among the top picks
         assert len({c.engine for c, _ in picked}) > 1
+
+
+class TestSchemeSpace:
+    """Regressions for the scheme-engine slice of the search space."""
+
+    def scheme_configs(self, spec, shape, **kw):
+        return [c for c in enumerate_space(spec, MACHINE, shape,
+                                           engines=("scheme",), **kw)]
+
+    def test_temporal_depths_bounded_by_radius(self):
+        # star-1d7p has radius 3: at W=4 only depth 1 keeps the fused
+        # footprint inside one unaligned-load window
+        star = library.get("star-1d7p")
+        depths = {c.scheme_fusion for c in self.scheme_configs(star, (4096,))
+                  if c.scheme == "temporal"}
+        assert depths == {1}
+        # heat-1d (radius 1) admits the whole ladder
+        depths = {c.scheme_fusion
+                  for c in self.scheme_configs(HEAT1D, (4096,))
+                  if c.scheme == "temporal"}
+        assert depths == {1, 2, 4}
+
+    def test_redundancy_skipped_without_sharing(self):
+        # heat-2d is a star: no shifted column is shared by two rows, so
+        # redundancy elimination cannot beat Reorg and is not enumerated
+        assert not has_sharing(HEAT2D)
+        assert all(c.scheme != "redundancy"
+                   for c in self.scheme_configs(HEAT2D, (64, 64)))
+        # a box shares every shifted column across all rows
+        box = library.get("box-2d9p")
+        assert has_sharing(box)
+        assert any(c.scheme == "redundancy"
+                   for c in self.scheme_configs(box, (64, 64)))
+
+    def test_temporal_halo_must_fit_the_interior(self):
+        # depth 4 needs a halo of 4 on the x axis; an interior of 3 rows
+        # cannot source a periodic refill for it
+        depths = {c.scheme_fusion
+                  for c in self.scheme_configs(HEAT2D, (3, 64))
+                  if c.scheme == "temporal"}
+        assert 4 not in depths and 1 in depths
+
+    def test_unknown_scheme_name_raises(self):
+        with pytest.raises(TuneError, match="schemes"):
+            enumerate_space(HEAT2D, MACHINE, (64, 64), schemes=("bogus",))
+
+    def test_config_field_validation(self):
+        with pytest.raises(TuneError, match="scheme"):
+            TuneConfig(engine="scheme")  # name required
+        with pytest.raises(TuneError, match="scheme"):
+            TuneConfig(engine="scheme", scheme="warp")
+        with pytest.raises(TuneError, match="scheme"):
+            TuneConfig(engine="machine", scheme="temporal")
+        with pytest.raises(TuneError, match="scheme_fusion"):
+            TuneConfig(engine="numpy", scheme_fusion=2)
+
+    def test_round_trip_and_label(self):
+        cfg = TuneConfig(engine="scheme", scheme="temporal",
+                         scheme_fusion=2, exec_backend="interp")
+        assert TuneConfig.from_dict(cfg.as_dict()) == cfg
+        assert "temporal" in cfg.label() and "s=2" in cfg.label()
+
+    def test_tune_runs_scheme_trials(self):
+        report = fast_tuner().tune(HEAT1D, (256,), steps=2,
+                                   engines=("scheme",),
+                                   exec_backends=("interp",))
+        scheme_trials = [t for t in report.trials
+                         if t.config.engine == "scheme"]
+        assert scheme_trials and any(t.ok for t in scheme_trials)
 
 
 class TestWorkloadKey:

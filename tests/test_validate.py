@@ -22,8 +22,9 @@ def test_matrix_all_green(avx2_report):
 
 
 def test_case_count(avx2_report):
-    # 8 schemes x 3 kernels x 2 boundaries
-    assert len(avx2_report.cases) == 8 * 3 * 2
+    # every registered scheme x 3 kernels x 2 boundaries
+    from repro.schemes import SCHEMES
+    assert len(avx2_report.cases) == len(SCHEMES) * 3 * 2
 
 
 def test_unsupported_combos_counted_benign(avx2_report):
